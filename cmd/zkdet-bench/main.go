@@ -1,0 +1,265 @@
+// Command zkdet-bench regenerates every table and figure of the paper's
+// evaluation (§VI) on the local machine and prints them side by side with
+// the published numbers.
+//
+// Usage:
+//
+//	zkdet-bench -all                 # everything at the default small scale
+//	zkdet-bench -fig 5|6|7           # one figure
+//	zkdet-bench -table 1|2           # one table
+//	zkdet-bench -proofsize           # §VI-B3 constant-proof-size check
+//	zkdet-bench -ablation cipher|commitment|decouple
+//	zkdet-bench -scale medium        # larger workloads (slower)
+//
+// Absolute times are not expected to match the paper (this is a
+// from-scratch big-integer Plonk prover, not Snarkjs on the authors'
+// i9-11900K); the shapes — linear proving, constant π_k, flat
+// verification, gas magnitudes — are the reproduction targets. See
+// EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/zkdet/zkdet/internal/apps/transformer"
+	"github.com/zkdet/zkdet/internal/bench"
+	"github.com/zkdet/zkdet/internal/core"
+)
+
+type scaleConfig struct {
+	fig5Sizes    []int
+	fig6Sizes    []int
+	fig7Sizes    []int
+	logregSizes  []int
+	transformers []transformer.Config
+	sysSize      int
+}
+
+func scales() map[string]scaleConfig {
+	return map[string]scaleConfig{
+		"small": {
+			fig5Sizes:   []int{1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12},
+			fig6Sizes:   []int{2, 4, 8, 16},
+			fig7Sizes:   []int{2, 4, 8, 16},
+			logregSizes: []int{4, 8},
+			transformers: []transformer.Config{
+				{SeqLen: 2, DModel: 2, DK: 2, DFF: 2, DOut: 2},
+				{SeqLen: 2, DModel: 4, DK: 2, DFF: 4, DOut: 2},
+			},
+			sysSize: 1 << 14,
+		},
+		"medium": {
+			fig5Sizes:   []int{1 << 10, 1 << 12, 1 << 14, 1 << 16},
+			fig6Sizes:   []int{4, 8, 16, 32, 64},
+			fig7Sizes:   []int{4, 16, 64},
+			logregSizes: []int{8, 16, 32},
+			transformers: []transformer.Config{
+				{SeqLen: 3, DModel: 4, DK: 4, DFF: 8, DOut: 4},
+				{SeqLen: 4, DModel: 8, DK: 4, DFF: 16, DOut: 8},
+			},
+			sysSize: 1 << 17,
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		figFlag      = flag.Int("fig", 0, "regenerate figure 5, 6 or 7")
+		tableFlag    = flag.Int("table", 0, "regenerate table 1 or 2")
+		proofSize    = flag.Bool("proofsize", false, "check the constant-proof-size claim (§VI-B3)")
+		ablationFlag = flag.String("ablation", "", "run an ablation: cipher, commitment or decouple")
+		allFlag      = flag.Bool("all", false, "run every experiment")
+		scaleFlag    = flag.String("scale", "small", "workload scale: small or medium")
+	)
+	flag.Parse()
+
+	cfg, ok := scales()[*scaleFlag]
+	if !ok {
+		log.Fatalf("unknown scale %q (want small or medium)", *scaleFlag)
+	}
+	if !*allFlag && *figFlag == 0 && *tableFlag == 0 && *ablationFlag == "" && !*proofSize {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sys *core.System
+	system := func() *core.System {
+		if sys == nil {
+			fmt.Printf("(building a %s-scale proving system — one-time setup)\n", *scaleFlag)
+			var err error
+			sys, err = bench.NewSystem(cfg.sysSize)
+			if err != nil {
+				log.Fatalf("system setup: %v", err)
+			}
+		}
+		return sys
+	}
+
+	if *allFlag || *figFlag == 5 {
+		runFig5(cfg)
+	}
+	if *allFlag || *figFlag == 6 {
+		runFig6(system(), cfg)
+	}
+	if *allFlag || *figFlag == 7 {
+		runFig7(system(), cfg)
+	}
+	if *allFlag || *tableFlag == 1 {
+		runTable1(system(), cfg)
+	}
+	if *allFlag || *tableFlag == 2 {
+		runTable2(system())
+	}
+	if *allFlag || *proofSize {
+		runProofSize(system())
+	}
+	if *allFlag || *ablationFlag == "cipher" {
+		runAblationCipher()
+	}
+	if *allFlag || *ablationFlag == "commitment" {
+		runAblationCommitment()
+	}
+	if *allFlag || *ablationFlag == "decouple" {
+		runAblationDecouple(system())
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n══ %s ══\n", title)
+}
+
+func runFig5(cfg scaleConfig) {
+	header("Figure 5 — time consumed for circuit setup")
+	fmt.Println("paper shape: setup grows ~linearly with constraints; <2 min at 2^20 constraints")
+	rows, err := bench.Fig5Setup(cfg.fig5Sizes)
+	if err != nil {
+		log.Fatalf("fig5: %v", err)
+	}
+	fmt.Printf("%-14s %-12s %-12s %s\n", "constraints", "SRS", "preprocess", "total")
+	for _, r := range rows {
+		fmt.Printf("%-14d %-12s %-12s %s\n", r.Constraints,
+			bench.FormatSeconds(r.SRSSeconds),
+			bench.FormatSeconds(r.PreprocessSeconds),
+			bench.FormatSeconds(r.TotalSeconds))
+	}
+}
+
+func runFig6(sys *core.System, cfg scaleConfig) {
+	header("Figure 6 — time consumed for proof generation")
+	fmt.Println("paper shape: π_e/π_p linear in data size; π_t ~linear (comparisons); π_k constant ~120ms")
+	rows, err := bench.Fig6ProofGen(sys, cfg.fig6Sizes)
+	if err != nil {
+		log.Fatalf("fig6: %v", err)
+	}
+	fmt.Printf("%-10s %-10s %-12s %-12s %s\n", "entries", "size", "π_e", "π_t(dup)", "π_k")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-10s %-12s %-12s %s\n", r.Entries,
+			fmt.Sprintf("%.2fKB", r.DataKB),
+			bench.FormatSeconds(r.PiESeconds),
+			bench.FormatSeconds(r.PiTSeconds),
+			bench.FormatSeconds(r.PiKSeconds))
+	}
+}
+
+func runFig7(sys *core.System, cfg scaleConfig) {
+	header("Figure 7 — running time of ZKDET and ZKCP (verification)")
+	fmt.Println("paper shape: ZKDET flat (<0.1s, 2 pairings + 18 exps); ZKCP grows with ℓ (3 pairings + ℓ exps)")
+	rows, err := bench.Fig7Verify(sys, cfg.fig7Sizes)
+	if err != nil {
+		log.Fatalf("fig7: %v", err)
+	}
+	fmt.Printf("%-10s %-14s %s\n", "inputs", "ZKDET verify", "ZKCP verify")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-14s %s\n", r.Inputs,
+			bench.FormatSeconds(r.ZKDETSeconds),
+			bench.FormatSeconds(r.ZKCPSeconds))
+	}
+	// The ZKCP verifier needs no SRS, so its ℓ-linear growth can be shown
+	// well past the sizes the π_e circuits above cover.
+	fmt.Println("ZKCP verifier extrapolation (3 pairings + ℓ G1 exponentiations):")
+	fmt.Printf("%-10s %s\n", "ℓ", "ZKCP verify")
+	for _, n := range []int{64, 256, 1024, 4096} {
+		start := time.Now()
+		core.ZKCPVerifierCost(n)
+		fmt.Printf("%-10d %s\n", n, bench.FormatSeconds(time.Since(start).Seconds()))
+	}
+}
+
+func runTable1(sys *core.System, cfg scaleConfig) {
+	header("Table I — proof of transformation for data processing")
+	fmt.Println("paper: LR 495→3.11s, 1963→21.73s, 10210→131.44s; Transformer 201k→1m29s, 1M→8m12s; ~2.4KB proofs")
+	lr, err := bench.Table1LogReg(sys, cfg.logregSizes)
+	if err != nil {
+		log.Fatalf("table1 logreg: %v", err)
+	}
+	tf, err := bench.Table1Transformer(sys, cfg.transformers)
+	if err != nil {
+		log.Fatalf("table1 transformer: %v", err)
+	}
+	fmt.Printf("%-22s %-14s %-14s %s\n", "task", "entries/params", "prove", "proof size")
+	for _, r := range append(lr, tf...) {
+		fmt.Printf("%-22s %-14d %-14s %dB\n", r.Task, r.Size,
+			bench.FormatSeconds(r.ProveSeconds), r.ProofBytes)
+	}
+}
+
+func runTable2(sys *core.System) {
+	header("Table II — gas consumption of smart contracts")
+	rows, err := bench.Table2Gas(sys)
+	if err != nil {
+		log.Fatalf("table2: %v", err)
+	}
+	fmt.Printf("%-34s %-12s %-12s %s\n", "operation", "paper", "measured", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-34s %-12d %-12d %.2fx\n", r.Operation, r.PaperGas, r.Gas,
+			float64(r.Gas)/float64(r.PaperGas))
+	}
+}
+
+func runProofSize(sys *core.System) {
+	header("§VI-B3 — proof length is constant")
+	rows, err := bench.ProofSizeConstant(sys, []int{2, 8, 16})
+	if err != nil {
+		log.Fatalf("proofsize: %v", err)
+	}
+	fmt.Printf("%-10s %-10s %s\n", "task", "entries", "proof bytes")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-10d %d (9 G1 + 16 Fr)\n", r.Task, r.Size, r.ProofBytes)
+	}
+}
+
+func runAblationCipher() {
+	header("Ablation — cipher choice in-circuit (§IV-C1)")
+	for _, r := range bench.AblationCipher() {
+		fmt.Printf("%-42s %8d constraints   %s\n", r.Scheme, r.Constraints, r.Note)
+	}
+}
+
+func runAblationCommitment() {
+	header("Ablation — commitment choice in-circuit (§IV-C2)")
+	for _, r := range bench.AblationCommitment() {
+		fmt.Printf("%-42s %8d constraints   %s\n", r.Scheme, r.Constraints, r.Note)
+	}
+}
+
+func runAblationDecouple(sys *core.System) {
+	header("Ablation — decoupled π_e/π_t vs monolithic π_f (§IV-B)")
+	rows, err := bench.AblationDecouple(sys, 8)
+	if err != nil {
+		log.Fatalf("decouple: %v", err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-38s %d proofs   %s total\n", r.Strategy, r.Proofs,
+			bench.FormatSeconds(r.TotalSeconds))
+	}
+	fmt.Println("(structurally, the monolithic strategy re-proves the shared ciphertext's encryption on")
+	fmt.Println(" every transformation — 2L encryption sub-proofs for an L-step chain vs the decoupled")
+	fmt.Println(" strategy's L+1, each reusable. Wall-clock, our π_t re-hashes commitments in-circuit,")
+	fmt.Println(" so it costs ~π_e; the paper's CP-NIZK links commitments natively and its π_t is ~18x")
+	fmt.Println(" cheaper than π_e, which is where the paper's halving comes from. See EXPERIMENTS.md.)")
+}

@@ -1,0 +1,94 @@
+// Command zkdet-ceremony runs and verifies a Powers-of-Tau ceremony and
+// manages SRS files — the operational side of ZKDET's universal setup.
+//
+// Usage:
+//
+//	zkdet-ceremony -new -size 4096 -parties alice,bob,carol -out srs.bin
+//	zkdet-ceremony -verify srs.bin
+//
+// The output file is the structurally-validated format of kzg.SRSFromBytes:
+// loading re-checks the power chain with a batched pairing check, so a
+// corrupted or tampered file can never be used for proving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/zkdet/zkdet/internal/kzg"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		newFlag    = flag.Bool("new", false, "run a new ceremony")
+		size       = flag.Int("size", 4096, "number of SRS powers (max provable degree)")
+		parties    = flag.String("parties", "party-1,party-2,party-3", "comma-separated contributor labels")
+		out        = flag.String("out", "srs.bin", "output file for the final SRS")
+		verifyFlag = flag.String("verify", "", "verify an existing SRS file and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *verifyFlag != "":
+		if err := verifySRSFile(*verifyFlag); err != nil {
+			log.Fatalf("zkdet-ceremony: %v", err)
+		}
+	case *newFlag:
+		if err := runCeremony(*size, strings.Split(*parties, ","), *out); err != nil {
+			log.Fatalf("zkdet-ceremony: %v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runCeremony(size int, parties []string, out string) error {
+	if len(parties) == 0 || (len(parties) == 1 && parties[0] == "") {
+		return fmt.Errorf("need at least one contributor")
+	}
+	fmt.Printf("• starting ceremony: %d powers, %d contributors\n", size, len(parties))
+	cer, err := kzg.NewCeremony(size)
+	if err != nil {
+		return err
+	}
+	for _, p := range parties {
+		p = strings.TrimSpace(p)
+		if err := cer.Contribute([]byte(p)); err != nil {
+			return fmt.Errorf("contribution %q: %w", p, err)
+		}
+		fmt.Printf("• %s contributed\n", p)
+	}
+	srs, err := cer.SRS()
+	if err != nil {
+		return err
+	}
+	if err := kzg.VerifyChain(cer.Contributions(), srs); err != nil {
+		return fmt.Errorf("chain verification: %w", err)
+	}
+	fmt.Printf("• contribution chain verified (%d updates)\n", len(cer.Contributions()))
+	data := srs.Bytes()
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("• SRS written to %s (%d bytes, max degree %d)\n", out, len(data), srs.MaxDegree())
+	return nil
+}
+
+func verifySRSFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	srs, err := kzg.SRSFromBytes(data)
+	if err != nil {
+		return fmt.Errorf("INVALID: %w", err)
+	}
+	fmt.Printf("• %s: VALID — %d G1 powers (max degree %d), power chain verified\n",
+		path, len(srs.G1), srs.MaxDegree())
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/zkdet/zkdet
+
+go 1.22

@@ -1,0 +1,190 @@
+package logreg
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/core"
+)
+
+var testSys = sync.OnceValue(func() *core.System {
+	s, err := core.NewTestSystem(1 << 13)
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+// tinySamples is a small linearly separable set: y = 1 iff x0 + x1 > 1.
+func tinySamples() []Sample {
+	return []Sample{
+		{X: []float64{0.1, 0.2}, Y: 0},
+		{X: []float64{0.2, 0.1}, Y: 0},
+		{X: []float64{0.3, 0.3}, Y: 0},
+		{X: []float64{0.9, 0.8}, Y: 1},
+		{X: []float64{0.8, 0.9}, Y: 1},
+		{X: []float64{1.0, 0.7}, Y: 1},
+	}
+}
+
+func TestEncodeDecodeSamples(t *testing.T) {
+	samples := tinySamples()
+	d, err := EncodeSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSamples(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("decoded %d samples", len(back))
+	}
+	for i := range samples {
+		if back[i].Y != samples[i].Y {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range samples[i].X {
+			diff := back[i].X[j] - samples[i].X[j]
+			if diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("feature %d/%d mismatch: %v", i, j, diff)
+			}
+		}
+	}
+	if _, err := EncodeSamples(nil); !errors.Is(err, ErrNoSamples) {
+		t.Fatal("empty sample set encoded")
+	}
+	if _, err := DecodeSamples(d[:3]); err == nil {
+		t.Fatal("truncated dataset decoded")
+	}
+	if _, err := EncodeSamples([]Sample{{X: []float64{1}}, {X: []float64{1, 2}}}); err == nil {
+		t.Fatal("ragged samples encoded")
+	}
+}
+
+func TestTrainConverges(t *testing.T) {
+	model, err := Train(tinySamples(), 0.5, 0.05, 5000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model must separate the classes.
+	if p := model.Predict([]float64{0.1, 0.1}); p >= 0.5 {
+		t.Fatalf("negative sample predicted %v", p)
+	}
+	if p := model.Predict([]float64{0.9, 0.9}); p <= 0.5 {
+		t.Fatalf("positive sample predicted %v", p)
+	}
+	// Gradient is small at the returned parameters.
+	beta := append([]float64{model.Bias}, model.Weights...)
+	for _, g := range gradient(tinySamples(), beta, 0.05) {
+		if g > 0.01 || g < -0.01 {
+			t.Fatalf("gradient %v after convergence", g)
+		}
+	}
+}
+
+func TestModelEncodeDecode(t *testing.T) {
+	m := Model{Bias: -1.5, Weights: []float64{0.25, 2.0}}
+	d := EncodeModel(m)
+	back, err := DecodeModel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bias != m.Bias || back.Weights[0] != m.Weights[0] || back.Weights[1] != m.Weights[1] {
+		t.Fatalf("model round trip: %+v", back)
+	}
+	if _, err := DecodeModel(d[:1]); err == nil {
+		t.Fatal("truncated model decoded")
+	}
+}
+
+func TestTrainerGadgetSatisfiable(t *testing.T) {
+	samples := tinySamples()
+	data, err := EncodeSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := &Trainer{N: len(samples), K: 2, Step: 0.5, Lambda: 0.05, MaxIters: 5000, Epsilon: 0.02}
+
+	b := circuit.NewBuilder()
+	wires := make([]circuit.Variable, len(data))
+	for i := range data {
+		wires[i] = b.Secret(data[i])
+	}
+	out := trainer.Gadget(b, wires)
+	if len(out) != 4 { // [k, bias, w1, w2]
+		t.Fatalf("gadget returned %d wires", len(out))
+	}
+	cs, w, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.IsSatisfied(w); err != nil {
+		t.Fatalf("convergence constraints unsatisfied: %v", err)
+	}
+}
+
+func TestTrainerRejectsUnconvergedModel(t *testing.T) {
+	samples := tinySamples()
+	data, err := EncodeSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trainer that barely iterates produces a model whose gradient is
+	// far from zero; the convergence predicate must fail.
+	trainer := &Trainer{N: len(samples), K: 2, Step: 0.5, Lambda: 0.05, MaxIters: 1, Epsilon: 0.0005}
+	b := circuit.NewBuilder()
+	wires := make([]circuit.Variable, len(data))
+	for i := range data {
+		wires[i] = b.Secret(data[i])
+	}
+	trainer.Gadget(b, wires)
+	cs, w, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.IsSatisfied(w); err == nil {
+		t.Fatal("unconverged model satisfied the convergence predicate")
+	}
+}
+
+func TestTrainerEndToEndProof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SNARK proof skipped in -short mode")
+	}
+	sys := testSys()
+	samples := tinySamples()
+	data, err := EncodeSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := &Trainer{N: len(samples), K: 2, Step: 0.5, Lambda: 0.05, MaxIters: 5000, Epsilon: 0.02}
+	cs, os := data.Commit()
+	tp, modelEnc, _, err := sys.ProveProcessing(trainer, data, cs, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyTransform(tp, trainer); err != nil {
+		t.Fatalf("model-training proof rejected: %v", err)
+	}
+	model, err := DecodeModel(modelEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := model.Predict([]float64{0.9, 0.9}); p <= 0.5 {
+		t.Fatalf("proved model misclassifies: %v", p)
+	}
+}
+
+func TestTrainerShapeMismatch(t *testing.T) {
+	trainer := &Trainer{N: 3, K: 2, Step: 0.5, Lambda: 0.05, MaxIters: 100, Epsilon: 0.05}
+	data, err := EncodeSamples(tinySamples()) // 6 samples, not 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Apply(data); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,539 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+func randFp2() Fp2 {
+	a := fr.MustRandom()
+	b := fr.MustRandom()
+	return Fp2{A0: FpFromBig(a.BigInt()), A1: FpFromBig(b.BigInt())}
+}
+
+func randFp6() Fp6 {
+	return Fp6{B0: randFp2(), B1: randFp2(), B2: randFp2()}
+}
+
+func randFp12() Fp12 {
+	return Fp12{C0: randFp6(), C1: randFp6()}
+}
+
+func TestFp2FieldAxioms(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		x, y, z := randFp2(), randFp2(), randFp2()
+		var l, r, t1, t2 Fp2
+		// Distributivity.
+		l.Add(&y, &z)
+		l.Mul(&x, &l)
+		t1.Mul(&x, &y)
+		t2.Mul(&x, &z)
+		r.Add(&t1, &t2)
+		if !l.Equal(&r) {
+			t.Fatal("fp2 distributivity")
+		}
+		// Square vs Mul.
+		var sq, mm Fp2
+		sq.Square(&x)
+		mm.Mul(&x, &x)
+		if !sq.Equal(&mm) {
+			t.Fatal("fp2 square != mul")
+		}
+		// Inverse.
+		if !x.IsZero() {
+			var inv, prod Fp2
+			inv.Inverse(&x)
+			prod.Mul(&x, &inv)
+			if !prod.IsOne() {
+				t.Fatal("fp2 inverse")
+			}
+		}
+	}
+}
+
+func TestFp2NonResidue(t *testing.T) {
+	// MulByNonResidue must agree with multiplying by 9+u.
+	xi := MustFp2FromDecimal("9", "1")
+	for i := 0; i < 20; i++ {
+		x := randFp2()
+		var a, b Fp2
+		a.MulByNonResidue(&x)
+		b.Mul(&x, &xi)
+		if !a.Equal(&b) {
+			t.Fatal("MulByNonResidue != * (9+u)")
+		}
+	}
+}
+
+func TestFp6FieldAxioms(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		x, y, z := randFp6(), randFp6(), randFp6()
+		var l, r, t1, t2 Fp6
+		l.Add(&y, &z)
+		l.Mul(&x, &l)
+		t1.Mul(&x, &y)
+		t2.Mul(&x, &z)
+		r.Add(&t1, &t2)
+		if !l.Equal(&r) {
+			t.Fatal("fp6 distributivity")
+		}
+		if !x.IsZero() {
+			var inv, prod Fp6
+			inv.Inverse(&x)
+			prod.Mul(&x, &inv)
+			one := fp6One()
+			if !prod.Equal(&one) {
+				t.Fatal("fp6 inverse")
+			}
+		}
+	}
+}
+
+func TestFp6MulByV(t *testing.T) {
+	// MulByV must agree with multiplication by the element v.
+	v := Fp6{B1: fp2One()}
+	for i := 0; i < 10; i++ {
+		x := randFp6()
+		var a, b Fp6
+		a.MulByV(&x)
+		b.Mul(&x, &v)
+		if !a.Equal(&b) {
+			t.Fatal("MulByV mismatch")
+		}
+	}
+}
+
+func TestFp12FieldAxioms(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		x, y, z := randFp12(), randFp12(), randFp12()
+		var l, r, t1, t2 Fp12
+		l.Add(&y, &z)
+		l.Mul(&x, &l)
+		t1.Mul(&x, &y)
+		t2.Mul(&x, &z)
+		r.Add(&t1, &t2)
+		if !l.Equal(&r) {
+			t.Fatal("fp12 distributivity")
+		}
+		var sq, mm Fp12
+		sq.Square(&x)
+		mm.Mul(&x, &x)
+		if !sq.Equal(&mm) {
+			t.Fatal("fp12 square != mul")
+		}
+		if !x.IsZero() {
+			var inv, prod Fp12
+			inv.Inverse(&x)
+			prod.Mul(&x, &inv)
+			if !prod.IsOne() {
+				t.Fatal("fp12 inverse")
+			}
+		}
+	}
+}
+
+func TestFrobeniusMatchesExp(t *testing.T) {
+	p := FpModulus()
+	for i := 0; i < 3; i++ {
+		x := randFp12()
+		var f, e Fp12
+		f.Frobenius(&x)
+		e.Exp(&x, p)
+		if !f.Equal(&e) {
+			t.Fatal("Frobenius != x^p")
+		}
+		var f2, e2 Fp12
+		f2.FrobeniusSquare(&x)
+		e2.Exp(&x, new(big.Int).Mul(p, p))
+		if !f2.Equal(&e2) {
+			t.Fatal("FrobeniusSquare != x^(p^2)")
+		}
+	}
+}
+
+func TestG1GeneratorOnCurve(t *testing.T) {
+	g := G1Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G1 generator not on curve")
+	}
+	// [r]G == infinity.
+	var j G1Jac
+	j.scalarMulBig(&g, fr.Modulus())
+	if !j.IsInfinity() {
+		t.Fatal("[r]G1 != O")
+	}
+}
+
+func TestG2GeneratorOnCurveAndSubgroup(t *testing.T) {
+	g := G2Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G2 generator not on curve")
+	}
+	if !g.IsInSubgroup() {
+		t.Fatal("[r]G2 != O")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	g := G1Generator()
+	a := fr.NewElement(123456789)
+	b := fr.NewElement(987654321)
+
+	pa := G1ScalarMul(&g, &a)
+	pb := G1ScalarMul(&g, &b)
+
+	// [a]G + [b]G == [a+b]G
+	var ab fr.Element
+	ab.Add(&a, &b)
+	lhs := G1Add(&pa, &pb)
+	rhs := G1ScalarMul(&g, &ab)
+	if !lhs.Equal(&rhs) {
+		t.Fatal("G1 additive homomorphism fails")
+	}
+
+	// P + (-P) == O
+	var negPa G1Affine
+	negPa.Neg(&pa)
+	sum := G1Add(&pa, &negPa)
+	if !sum.IsInfinity() {
+		t.Fatal("P + (-P) != O")
+	}
+
+	// Doubling consistency: [2]P == P + P.
+	two := fr.NewElement(2)
+	d1 := G1ScalarMul(&pa, &two)
+	d2 := G1Add(&pa, &pa)
+	if !d1.Equal(&d2) {
+		t.Fatal("[2]P != P+P")
+	}
+
+	// Scalar mult result stays on curve.
+	if !pa.IsOnCurve() {
+		t.Fatal("scalar mult left the curve")
+	}
+}
+
+func TestG2GroupLaws(t *testing.T) {
+	g := G2Generator()
+	a := fr.NewElement(31415926)
+	b := fr.NewElement(27182818)
+
+	pa := G2ScalarMul(&g, &a)
+	pb := G2ScalarMul(&g, &b)
+	var ab fr.Element
+	ab.Add(&a, &b)
+	lhs := G2Add(&pa, &pb)
+	rhs := G2ScalarMul(&g, &ab)
+	if !lhs.Equal(&rhs) {
+		t.Fatal("G2 additive homomorphism fails")
+	}
+	if !pa.IsOnCurve() {
+		t.Fatal("G2 scalar mult left the curve")
+	}
+}
+
+func TestG1SerializationRoundTrip(t *testing.T) {
+	g := G1Generator()
+	s := fr.MustRandom()
+	p := G1ScalarMul(&g, &s)
+	b := p.Bytes()
+	back, err := G1FromBytes(b[:])
+	if err != nil {
+		t.Fatalf("G1FromBytes: %v", err)
+	}
+	if !back.Equal(&p) {
+		t.Fatal("round trip mismatch")
+	}
+	// Corrupt a byte: either decoding fails or the point is off-curve.
+	b[5] ^= 0xff
+	if _, err := G1FromBytes(b[:]); err == nil {
+		t.Fatal("accepted corrupted point")
+	}
+	if _, err := G1FromBytes(b[:10]); err == nil {
+		t.Fatal("accepted wrong length")
+	}
+}
+
+// TestPairingBilinearity is the decisive correctness check for the whole
+// pairing stack: e([a]P, [b]Q) == e(P, Q)^(ab) for random a, b.
+func TestPairingBilinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test skipped in -short mode")
+	}
+	g1 := G1Generator()
+	g2 := G2Generator()
+
+	base := Pair(&g1, &g2)
+	if base.IsOne() {
+		t.Fatal("e(G1, G2) == 1: pairing degenerate")
+	}
+
+	a := fr.NewElement(7)
+	b := fr.NewElement(13)
+	pa := G1ScalarMul(&g1, &a)
+	qb := G2ScalarMul(&g2, &b)
+
+	lhs := Pair(&pa, &qb)
+	var ab fr.Element
+	ab.Mul(&a, &b)
+	var rhs Fp12
+	rhs.Exp(&base, ab.BigInt())
+	if !lhs.Equal(&rhs) {
+		t.Fatal("bilinearity fails: e([a]P,[b]Q) != e(P,Q)^(ab)")
+	}
+
+	// Left-linearity with a random point addition.
+	c := fr.NewElement(29)
+	pc := G1ScalarMul(&g1, &c)
+	sum := G1Add(&pa, &pc)
+	l := Pair(&sum, &g2)
+	e1 := Pair(&pa, &g2)
+	e2 := Pair(&pc, &g2)
+	var r Fp12
+	r.Mul(&e1, &e2)
+	if !l.Equal(&r) {
+		t.Fatal("e(P1+P2, Q) != e(P1,Q)e(P2,Q)")
+	}
+}
+
+func TestPairingGTOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test skipped in -short mode")
+	}
+	g1 := G1Generator()
+	g2 := G2Generator()
+	e := Pair(&g1, &g2)
+	var er Fp12
+	er.Exp(&e, fr.Modulus())
+	if !er.IsOne() {
+		t.Fatal("e(G1,G2)^r != 1: target not in GT")
+	}
+}
+
+func TestPairingInfinity(t *testing.T) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	var inf1 G1Affine
+	var inf2 G2Affine
+	e1 := Pair(&inf1, &g2)
+	e2 := Pair(&g1, &inf2)
+	if !e1.IsOne() || !e2.IsOne() {
+		t.Fatal("pairing with infinity should be 1")
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pairing test skipped in -short mode")
+	}
+	g1 := G1Generator()
+	g2 := G2Generator()
+	a := fr.NewElement(42)
+
+	// e([a]G1, G2) * e(-G1, [a]G2) == 1
+	pa := G1ScalarMul(&g1, &a)
+	qa := G2ScalarMul(&g2, &a)
+	var negG1 G1Affine
+	negG1.Neg(&g1)
+	ok, err := PairingCheck([]G1Affine{pa, negG1}, []G2Affine{g2, qa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid pairing product rejected")
+	}
+
+	// A wrong relation must fail.
+	b := fr.NewElement(43)
+	qb := G2ScalarMul(&g2, &b)
+	ok, err = PairingCheck([]G1Affine{pa, negG1}, []G2Affine{g2, qb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("invalid pairing product accepted")
+	}
+
+	if _, err := PairingCheck([]G1Affine{pa}, nil); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestMSMMatchesNaive(t *testing.T) {
+	g := G1Generator()
+	for _, n := range []int{0, 1, 5, 33, 100, 300} {
+		points := make([]G1Affine, n)
+		scalars := make([]fr.Element, n)
+		var want G1Jac
+		want.SetInfinity()
+		for i := 0; i < n; i++ {
+			s := fr.NewElement(uint64(i*i + 1))
+			points[i] = G1ScalarMul(&g, &s)
+			scalars[i] = fr.NewElement(uint64(7*i + 3))
+			var term G1Jac
+			term.ScalarMul(&points[i], &scalars[i])
+			want.AddAssign(&term)
+		}
+		var wantAff G1Affine
+		wantAff.FromJacobian(&want)
+		got, err := G1MSM(points, scalars)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(&wantAff) {
+			t.Fatalf("n=%d: msm mismatch", n)
+		}
+	}
+	if _, err := G1MSM(make([]G1Affine, 2), make([]fr.Element, 3)); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestMSMRandomScalars(t *testing.T) {
+	g := G1Generator()
+	n := 128
+	points := make([]G1Affine, n)
+	scalars := make([]fr.Element, n)
+	var want G1Jac
+	want.SetInfinity()
+	for i := 0; i < n; i++ {
+		s := fr.MustRandom()
+		points[i] = G1ScalarMul(&g, &s)
+		scalars[i] = fr.MustRandom()
+		var term G1Jac
+		term.ScalarMul(&points[i], &scalars[i])
+		want.AddAssign(&term)
+	}
+	var wantAff G1Affine
+	wantAff.FromJacobian(&want)
+	got, err := G1MSM(points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(&wantAff) {
+		t.Fatal("msm with random scalars mismatch")
+	}
+}
+
+func TestQuickG1ScalarDistributes(t *testing.T) {
+	g := G1Generator()
+	prop := func(a, b uint32) bool {
+		ea, eb := fr.NewElement(uint64(a)), fr.NewElement(uint64(b))
+		var sum fr.Element
+		sum.Add(&ea, &eb)
+		lhs := G1ScalarMul(&g, &sum)
+		pa := G1ScalarMul(&g, &ea)
+		pb := G1ScalarMul(&g, &eb)
+		rhs := G1Add(&pa, &pb)
+		return lhs.Equal(&rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(&g1, &g2)
+	}
+}
+
+func BenchmarkG1ScalarMul(b *testing.B) {
+	g := G1Generator()
+	s := fr.MustRandom()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		G1ScalarMul(&g, &s)
+	}
+}
+
+func BenchmarkMSM(b *testing.B) {
+	g := G1Generator()
+	for _, n := range []int{256, 1024, 4096} {
+		points := make([]G1Affine, n)
+		scalars := make([]fr.Element, n)
+		base := g
+		for i := 0; i < n; i++ {
+			points[i] = base
+			base = G1Add(&base, &g)
+			scalars[i] = fr.NewElement(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		}
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := G1MSM(points, scalars); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestQuickMSMLinearity(t *testing.T) {
+	// MSM(points, a·s) == [a]·MSM(points, s) for a scalar a — linearity of
+	// the multi-scalar multiplication as a whole.
+	g := G1Generator()
+	points := make([]G1Affine, 40)
+	base := g
+	for i := range points {
+		points[i] = base
+		base = G1Add(&base, &g)
+	}
+	prop := func(a uint32, seed uint32) bool {
+		scalars := make([]fr.Element, len(points))
+		s := uint64(seed) + 1
+		for i := range scalars {
+			s = s*6364136223846793005 + 1442695040888963407
+			scalars[i] = fr.NewElement(s >> 8)
+		}
+		ae := fr.NewElement(uint64(a) + 1)
+		scaled := make([]fr.Element, len(scalars))
+		for i := range scalars {
+			scaled[i].Mul(&scalars[i], &ae)
+		}
+		lhs, err := G1MSM(points, scaled)
+		if err != nil {
+			return false
+		}
+		base, err := G1MSM(points, scalars)
+		if err != nil {
+			return false
+		}
+		rhs := G1ScalarMul(&base, &ae)
+		return lhs.Equal(&rhs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestG2SerializationViaFp2Coords(t *testing.T) {
+	// G2 points survive coordinate-wise reconstruction (the encoding the
+	// SRS serializer uses).
+	g := G2Generator()
+	s := fr.NewElement(987654321)
+	p := G2ScalarMul(&g, &s)
+	q := G2Affine{X: p.X, Y: p.Y}
+	if !q.IsOnCurve() || !q.Equal(&p) {
+		t.Fatal("G2 coordinate round trip failed")
+	}
+}

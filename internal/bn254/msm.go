@@ -1,0 +1,135 @@
+package bn254
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// G1MSM computes the multi-scalar multiplication ∑ scalars[i]·points[i]
+// with Pippenger's bucket algorithm, parallelised across windows. It is the
+// workhorse behind every KZG commitment in the repo.
+func G1MSM(points []G1Affine, scalars []fr.Element) (G1Affine, error) {
+	if len(points) != len(scalars) {
+		return G1Affine{}, fmt.Errorf("bn254: msm length mismatch: %d points, %d scalars", len(points), len(scalars))
+	}
+	if len(points) == 0 {
+		return G1Affine{}, nil
+	}
+	if len(points) < 32 {
+		// Naive is faster for tiny inputs.
+		var acc G1Jac
+		acc.SetInfinity()
+		for i := range points {
+			var t G1Jac
+			t.ScalarMul(&points[i], &scalars[i])
+			acc.AddAssign(&t)
+		}
+		var out G1Affine
+		out.FromJacobian(&acc)
+		return out, nil
+	}
+
+	c := windowSize(len(points))
+	const scalarBits = 254
+	numWindows := (scalarBits + c - 1) / c
+
+	// Canonical big-endian bytes, once per scalar.
+	digits := make([][]int, numWindows)
+	for w := range digits {
+		digits[w] = make([]int, len(scalars))
+	}
+	for i := range scalars {
+		b := scalars[i].Bytes()
+		for w := 0; w < numWindows; w++ {
+			digits[w][i] = windowDigit(b[:], w*c, c)
+		}
+	}
+
+	// Each window's bucket accumulation is independent; run them in
+	// parallel, then combine with doublings.
+	windowSums := make([]G1Jac, numWindows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < numWindows; w++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			windowSums[w] = bucketAccumulate(points, digits[w], c)
+		}(w)
+	}
+	wg.Wait()
+
+	var acc G1Jac
+	acc.SetInfinity()
+	for w := numWindows - 1; w >= 0; w-- {
+		if w != numWindows-1 {
+			for k := 0; k < c; k++ {
+				acc.Double(&acc)
+			}
+		}
+		acc.AddAssign(&windowSums[w])
+	}
+	var out G1Affine
+	out.FromJacobian(&acc)
+	return out, nil
+}
+
+// bucketAccumulate computes ∑ digit_i · P_i for one window.
+func bucketAccumulate(points []G1Affine, digit []int, c int) G1Jac {
+	buckets := make([]G1Jac, (1<<c)-1)
+	for i := range points {
+		d := digit[i]
+		if d == 0 {
+			continue
+		}
+		buckets[d-1].AddMixed(&points[i])
+	}
+	var running, sum G1Jac
+	running.SetInfinity()
+	sum.SetInfinity()
+	for b := len(buckets) - 1; b >= 0; b-- {
+		running.AddAssign(&buckets[b])
+		sum.AddAssign(&running)
+	}
+	return sum
+}
+
+// windowDigit extracts c bits starting at bit offset (counting from the
+// least-significant bit) of a 32-byte big-endian scalar.
+func windowDigit(be []byte, offset, c int) int {
+	d := 0
+	for k := 0; k < c; k++ {
+		bit := offset + k
+		if bit >= 256 {
+			break
+		}
+		byteIdx := 31 - bit/8
+		if be[byteIdx]>>(bit%8)&1 == 1 {
+			d |= 1 << k
+		}
+	}
+	return d
+}
+
+// windowSize picks the Pippenger window for n points.
+func windowSize(n int) int {
+	switch {
+	case n < 64:
+		return 3
+	case n < 256:
+		return 5
+	case n < 1024:
+		return 7
+	case n < 1<<14:
+		return 9
+	case n < 1<<18:
+		return 12
+	default:
+		return 14
+	}
+}

@@ -1,0 +1,500 @@
+// Package chain implements the blockchain substrate ZKDET runs on: an
+// account model with native balances, gas-metered contract execution, event
+// logs, and a single-sealer block producer with hash-linked blocks.
+//
+// The paper deploys on Ethereum's Rinkeby testnet; this package stands in
+// for it with the same standard assumptions (§IV-A): tamper-resistance
+// (hash-linked blocks, VerifyIntegrity), consistency (a single serialized
+// state machine), and public visibility of all transactions. Contracts are
+// native Go objects charged under the EVM gas schedule in gas.go, which is
+// what lets the repo reproduce Table II.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Address identifies an account (20 bytes, Ethereum-style).
+type Address [20]byte
+
+// Hash is a 32-byte digest.
+type Hash [32]byte
+
+// AddressFromString derives a deterministic address from a label; handy for
+// tests and examples.
+func AddressFromString(s string) Address {
+	h := sha256.Sum256([]byte("zkdet/address/" + s))
+	var a Address
+	copy(a[:], h[:20])
+	return a
+}
+
+// Event is a contract log entry.
+type Event struct {
+	Contract string
+	Name     string
+	Data     []byte
+}
+
+// Transaction is a contract call or value transfer recorded on chain.
+type Transaction struct {
+	From     Address
+	Contract string // registered contract name; empty for pure transfers
+	Method   string
+	Args     []byte
+	Value    uint64
+	Nonce    uint64
+	GasLimit uint64
+}
+
+func (tx *Transaction) hash() Hash {
+	h := sha256.New()
+	h.Write(tx.From[:])
+	h.Write([]byte(tx.Contract))
+	h.Write([]byte{0})
+	h.Write([]byte(tx.Method))
+	h.Write([]byte{0})
+	h.Write(tx.Args)
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:], tx.Value)
+	binary.BigEndian.PutUint64(buf[8:], tx.Nonce)
+	binary.BigEndian.PutUint64(buf[16:], tx.GasLimit)
+	h.Write(buf[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Receipt reports the outcome of an executed transaction. Failed calls are
+// included in blocks (state changes rolled back), mirroring Ethereum.
+type Receipt struct {
+	TxHash  Hash
+	GasUsed uint64
+	Return  []byte
+	Logs    []Event
+	Err     error
+}
+
+// Block is a sealed batch of transactions.
+type Block struct {
+	Number    uint64
+	Parent    Hash
+	Time      time.Time
+	TxHashes  []Hash
+	StateRoot Hash
+}
+
+func (b *Block) hash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], b.Number)
+	h.Write(buf[:])
+	h.Write(b.Parent[:])
+	for _, t := range b.TxHashes {
+		h.Write(t[:])
+	}
+	h.Write(b.StateRoot[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Errors returned by the chain.
+var (
+	ErrUnknownContract  = errors.New("chain: unknown contract")
+	ErrInsufficientFund = errors.New("chain: insufficient balance")
+	ErrBadNonce         = errors.New("chain: bad nonce")
+	ErrDuplicateName    = errors.New("chain: contract name already deployed")
+	ErrReverted         = errors.New("chain: execution reverted")
+)
+
+// Contract is the interface native-Go contracts implement.
+type Contract interface {
+	// Call executes a method. State mutations must go through ctx.Store so
+	// they are gas-metered and rolled back on error.
+	Call(ctx *CallContext, method string, args []byte) ([]byte, error)
+}
+
+// CallContext is passed to contract methods.
+type CallContext struct {
+	Sender  Address
+	Value   uint64
+	Gas     *GasMeter
+	Store   *Storage
+	chain   *Chain
+	name    string
+	logs    []Event
+	journal *journal
+}
+
+// Emit records an event, charging log gas.
+func (ctx *CallContext) Emit(name string, data []byte) error {
+	if err := ctx.Gas.Charge(GasLogBase + GasLogTopic + uint64(len(data))*GasLogDataByte); err != nil {
+		return err
+	}
+	ctx.logs = append(ctx.logs, Event{Contract: ctx.name, Name: name, Data: data})
+	return nil
+}
+
+// Transfer moves native value from the contract's escrow balance to an
+// account (the arbiter uses this to settle payments).
+func (ctx *CallContext) Transfer(to Address, amount uint64) error {
+	if err := ctx.Gas.Charge(GasValueTransfer); err != nil {
+		return err
+	}
+	return ctx.chain.transferLocked(contractAddress(ctx.name), to, amount)
+}
+
+// BlockNumber returns the current block height.
+func (ctx *CallContext) BlockNumber() uint64 { return uint64(len(ctx.chain.blocks)) }
+
+// CallContract performs a gas-metered cross-contract call. The callee sees
+// this contract's escrow address as the sender; its storage shares the
+// caller's gas meter, and its events are folded into the outer receipt.
+// A failing sub-call propagates its error, and the chain rolls back every
+// contract's state when the outer call reverts.
+func (ctx *CallContext) CallContract(name, method string, args []byte) ([]byte, error) {
+	callee, ok := ctx.chain.contracts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, name)
+	}
+	sub := &CallContext{
+		Sender:  contractAddress(ctx.name),
+		Gas:     ctx.Gas,
+		Store:   ctx.chain.storages[name].metered(ctx.Gas, ctx.journal),
+		chain:   ctx.chain,
+		name:    name,
+		journal: ctx.journal,
+	}
+	ret, err := callee.Call(sub, method, args)
+	ctx.logs = append(ctx.logs, sub.logs...)
+	return ret, err
+}
+
+func contractAddress(name string) Address { return AddressFromString("contract/" + name) }
+
+// ContractAddress returns the escrow address of a deployed contract.
+func ContractAddress(name string) Address { return contractAddress(name) }
+
+// account holds balance and nonce.
+type account struct {
+	balance uint64
+	nonce   uint64
+}
+
+// Chain is the simulated blockchain. All methods are safe for concurrent
+// use; execution is serialized, which is the consistency assumption of the
+// paper's threat model.
+type Chain struct {
+	mu        sync.Mutex
+	blocks    []Block
+	pending   []Hash
+	receipts  map[Hash]*Receipt
+	contracts map[string]Contract
+	storages  map[string]*Storage
+	accounts  map[Address]*account
+	codeSizes map[string]int
+	now       func() time.Time
+}
+
+// New returns an empty chain with a genesis block.
+func New() *Chain {
+	c := &Chain{
+		receipts:  make(map[Hash]*Receipt),
+		contracts: make(map[string]Contract),
+		storages:  make(map[string]*Storage),
+		accounts:  make(map[Address]*account),
+		codeSizes: make(map[string]int),
+		now:       time.Now,
+	}
+	genesis := Block{Number: 0, Time: c.now()}
+	c.blocks = []Block{genesis}
+	return c
+}
+
+// Faucet credits an account (test/genesis funding).
+func (c *Chain) Faucet(a Address, amount uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acct(a).balance += amount
+}
+
+// BalanceOf returns an account's native balance.
+func (c *Chain) BalanceOf(a Address) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acct(a).balance
+}
+
+// NonceOf returns the next expected nonce for an account.
+func (c *Chain) NonceOf(a Address) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acct(a).nonce
+}
+
+func (c *Chain) acct(a Address) *account {
+	if acc, ok := c.accounts[a]; ok {
+		return acc
+	}
+	acc := &account{}
+	c.accounts[a] = acc
+	return acc
+}
+
+func (c *Chain) transferLocked(from, to Address, amount uint64) error {
+	f := c.acct(from)
+	if f.balance < amount {
+		return fmt.Errorf("%w: %d < %d", ErrInsufficientFund, f.balance, amount)
+	}
+	f.balance -= amount
+	c.acct(to).balance += amount
+	return nil
+}
+
+// Deploy registers a contract under a unique name, charging deployment gas
+// proportional to the (approximated Solidity byte-) code size.
+func (c *Chain) Deploy(name string, contract Contract, codeSize int) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.contracts[name]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicateName, name)
+	}
+	gas := uint64(GasTxBase) + GasCreateBase + uint64(codeSize)*GasCodeDepositByte
+	c.contracts[name] = contract
+	c.storages[name] = NewStorage()
+	c.codeSizes[name] = codeSize
+	return gas, nil
+}
+
+// Submit executes a transaction against current state and queues it for the
+// next block. It returns the receipt; execution errors are reported in the
+// receipt (state rolled back), while malformed transactions return a Go
+// error and touch nothing.
+func (c *Chain) Submit(tx Transaction) (*Receipt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	sender := c.acct(tx.From)
+	if tx.Nonce != sender.nonce {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, sender.nonce)
+	}
+	if tx.GasLimit == 0 {
+		tx.GasLimit = DefaultGasLimit
+	}
+	txHash := tx.hash()
+	receipt := &Receipt{TxHash: txHash}
+	gas := NewGasMeter(tx.GasLimit)
+	// Intrinsic gas.
+	if err := gas.Charge(GasTxBase + uint64(len(tx.Args))*GasCalldataByte); err != nil {
+		return nil, err
+	}
+
+	sender.nonce++
+
+	if tx.Contract == "" {
+		// Plain value transfer — tx.Method/Args ignored.
+		if err := c.transferLocked(tx.From, AddressFromString("burn"), 0); err != nil {
+			return nil, err
+		}
+		receipt.GasUsed = gas.Used()
+		c.commitTx(txHash, receipt)
+		return receipt, nil
+	}
+
+	contract, ok := c.contracts[tx.Contract]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, tx.Contract)
+	}
+	store := c.storages[tx.Contract]
+	// A write journal captures the pre-image of every mutated slot across
+	// all contracts reached by the call, and the balances it moves, so a
+	// revert undoes exactly what the transaction touched.
+	j := &journal{}
+	balSnapshot := c.balancesSnapshot()
+
+	// Move value into the contract escrow before the call.
+	if tx.Value > 0 {
+		if err := c.transferLocked(tx.From, contractAddress(tx.Contract), tx.Value); err != nil {
+			sender.nonce--
+			return nil, err
+		}
+	}
+
+	ctx := &CallContext{
+		Sender:  tx.From,
+		Value:   tx.Value,
+		Gas:     gas,
+		Store:   store.metered(gas, j),
+		chain:   c,
+		name:    tx.Contract,
+		journal: j,
+	}
+	ret, err := contract.Call(ctx, tx.Method, tx.Args)
+	receipt.GasUsed = gas.Used()
+	if err != nil {
+		j.revert()
+		c.restoreBalances(balSnapshot)
+		sender.nonce = tx.Nonce + 1 // nonce still advances on revert
+		receipt.Err = fmt.Errorf("%w: %s.%s: %w", ErrReverted, tx.Contract, tx.Method, err)
+	} else {
+		receipt.Return = ret
+		receipt.Logs = ctx.logs
+	}
+	c.commitTx(txHash, receipt)
+	return receipt, nil
+}
+
+func (c *Chain) balancesSnapshot() map[Address]uint64 {
+	snap := make(map[Address]uint64, len(c.accounts))
+	for a, acc := range c.accounts {
+		snap[a] = acc.balance
+	}
+	return snap
+}
+
+func (c *Chain) restoreBalances(snap map[Address]uint64) {
+	for a, bal := range snap {
+		c.acct(a).balance = bal
+	}
+	for a := range c.accounts {
+		if _, ok := snap[a]; !ok {
+			c.accounts[a].balance = 0
+		}
+	}
+}
+
+func (c *Chain) commitTx(h Hash, r *Receipt) {
+	c.receipts[h] = r
+	c.pending = append(c.pending, h)
+}
+
+// ReadStorage reads a contract storage slot without gas (an archive-node
+// style view used by off-chain tooling and tests).
+func (c *Chain) ReadStorage(contract, key string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.storages[contract]
+	if !ok {
+		return nil
+	}
+	v, _ := st.Get(key)
+	return v
+}
+
+// Receipt returns the receipt of a processed transaction.
+func (c *Chain) Receipt(h Hash) (*Receipt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.receipts[h]
+	return r, ok
+}
+
+// SealBlock commits pending transactions into a new hash-linked block.
+func (c *Chain) SealBlock() Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parent := c.blocks[len(c.blocks)-1]
+	b := Block{
+		Number:    parent.Number + 1,
+		Parent:    parent.hash(),
+		Time:      c.now(),
+		TxHashes:  c.pending,
+		StateRoot: c.stateRootLocked(),
+	}
+	c.pending = nil
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+// stateRootLocked digests all contract storages (order-normalized).
+func (c *Chain) stateRootLocked() Hash {
+	h := sha256.New()
+	names := make([]string, 0, len(c.storages))
+	for n := range c.storages {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		h.Write([]byte(n))
+		d := c.storages[n].digest()
+		h.Write(d[:])
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Height returns the number of sealed blocks (excluding genesis).
+func (c *Chain) Height() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blocks[len(c.blocks)-1].Number
+}
+
+// BlockByNumber returns a sealed block.
+func (c *Chain) BlockByNumber(n uint64) (Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n >= uint64(len(c.blocks)) {
+		return Block{}, false
+	}
+	return c.blocks[n], true
+}
+
+// VerifyIntegrity walks the hash links, returning an error if any block has
+// been tampered with — the tamper-resistance assumption made checkable.
+func (c *Chain) VerifyIntegrity() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 1; i < len(c.blocks); i++ {
+		want := c.blocks[i-1].hash()
+		if c.blocks[i].Parent != want {
+			return fmt.Errorf("chain: block %d parent hash mismatch", i)
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// EventsByName returns all events with the given name emitted by a
+// contract, in transaction order across all processed transactions — the
+// log-query API off-chain indexers build on.
+func (c *Chain) EventsByName(contract, name string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	// Walk blocks then the pending set, preserving order.
+	appendFrom := func(h Hash) {
+		r, ok := c.receipts[h]
+		if !ok {
+			return
+		}
+		for _, ev := range r.Logs {
+			if ev.Contract == contract && ev.Name == name {
+				out = append(out, ev)
+			}
+		}
+	}
+	for _, b := range c.blocks {
+		for _, h := range b.TxHashes {
+			appendFrom(h)
+		}
+	}
+	for _, h := range c.pending {
+		appendFrom(h)
+	}
+	return out
+}

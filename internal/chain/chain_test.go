@@ -1,0 +1,328 @@
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// counter is a toy contract: "inc" adds 1 to a stored counter, "get" reads
+// it, "fail" always reverts after writing (to test rollback), "pay" sends
+// escrowed funds to a hard-coded beneficiary.
+type counter struct {
+	beneficiary Address
+}
+
+func (c *counter) Call(ctx *CallContext, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "inc":
+		raw, err := ctx.Store.Get("count")
+		if err != nil {
+			return nil, err
+		}
+		var n uint64
+		if len(raw) == 8 {
+			n = binary.BigEndian.Uint64(raw)
+		}
+		n++
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, n)
+		if err := ctx.Store.Set("count", buf); err != nil {
+			return nil, err
+		}
+		if err := ctx.Emit("Incremented", buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	case "get":
+		return ctx.Store.Get("count")
+	case "fail":
+		if err := ctx.Store.Set("junk", []byte("should be rolled back")); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("deliberate failure")
+	case "pay":
+		return nil, ctx.Transfer(c.beneficiary, ctx.Value)
+	default:
+		return nil, errors.New("unknown method")
+	}
+}
+
+func newTestChain(t *testing.T) (*Chain, Address) {
+	t.Helper()
+	c := New()
+	alice := AddressFromString("alice")
+	c.Faucet(alice, 1_000_000)
+	return c, alice
+}
+
+func deployCounter(t *testing.T, c *Chain, beneficiary Address) {
+	t.Helper()
+	if _, err := c.Deploy("counter", &counter{beneficiary: beneficiary}, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployAndCall(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+
+	gas, err := c.Deploy("counter2", &counter{}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(GasTxBase + GasCreateBase + 2000*GasCodeDepositByte); gas != want {
+		t.Fatalf("deploy gas %d, want %d", gas, want)
+	}
+	if _, err := c.Deploy("counter", &counter{}, 10); !errors.Is(err, ErrDuplicateName) {
+		t.Fatal("duplicate deploy accepted")
+	}
+
+	r, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err != nil {
+		t.Fatalf("call reverted: %v", r.Err)
+	}
+	if n := binary.BigEndian.Uint64(r.Return); n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+	if len(r.Logs) != 1 || r.Logs[0].Name != "Incremented" {
+		t.Fatalf("logs = %+v", r.Logs)
+	}
+	if r.GasUsed <= GasTxBase {
+		t.Fatal("no gas charged beyond intrinsic")
+	}
+}
+
+func TestNonceEnforcement(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 5}); !errors.Is(err, ErrBadNonce) {
+		t.Fatal("wrong nonce accepted")
+	}
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NonceOf(alice); got != 2 {
+		t.Fatalf("nonce = %d, want 2", got)
+	}
+}
+
+func TestRevertRollsBackState(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	r, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "fail", Nonce: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err == nil {
+		t.Fatal("failing call did not revert")
+	}
+	// The junk write must have been rolled back.
+	r2, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "get", Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Return) != 0 {
+		t.Fatal("state from reverted call persisted")
+	}
+}
+
+func TestValueTransferAndRevertRefund(t *testing.T) {
+	c, alice := newTestChain(t)
+	bob := AddressFromString("bob")
+	deployCounter(t, c, bob)
+
+	// Successful payment routes value to the beneficiary.
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "pay", Value: 500, Nonce: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BalanceOf(bob); got != 500 {
+		t.Fatalf("bob balance %d, want 500", got)
+	}
+	if got := c.BalanceOf(alice); got != 999_500 {
+		t.Fatalf("alice balance %d", got)
+	}
+
+	// Value sent to a reverting call is refunded.
+	r, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "fail", Value: 100, Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err == nil {
+		t.Fatal("expected revert")
+	}
+	if got := c.BalanceOf(alice); got != 999_500 {
+		t.Fatalf("alice balance after revert %d, want 999500", got)
+	}
+
+	// Overdraft rejected outright.
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "pay", Value: 10_000_000, Nonce: 2}); !errors.Is(err, ErrInsufficientFund) {
+		t.Fatal("overdraft accepted")
+	}
+}
+
+func TestUnknownContract(t *testing.T) {
+	c, alice := newTestChain(t)
+	if _, err := c.Submit(Transaction{From: alice, Contract: "nope", Method: "x", Nonce: 0}); !errors.Is(err, ErrUnknownContract) {
+		t.Fatal("unknown contract accepted")
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	r, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 0, GasLimit: 22000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err == nil || !errors.Is(r.Err, ErrOutOfGas) {
+		t.Fatalf("expected out of gas, got %v", r.Err)
+	}
+}
+
+func TestBlockSealingAndIntegrity(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	r1, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := c.SealBlock()
+	if b1.Number != 1 || len(b1.TxHashes) != 1 || b1.TxHashes[0] != r1.TxHash {
+		t.Fatalf("block 1 malformed: %+v", b1)
+	}
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b2 := c.SealBlock()
+	if b2.Parent == (Hash{}) {
+		t.Fatal("block 2 has empty parent")
+	}
+	if err := c.VerifyIntegrity(); err != nil {
+		t.Fatalf("honest chain fails integrity: %v", err)
+	}
+	if got := c.Height(); got != 2 {
+		t.Fatalf("height = %d", got)
+	}
+	// Tamper with a sealed block.
+	c.blocks[1].TxHashes = nil
+	if err := c.VerifyIntegrity(); err == nil {
+		t.Fatal("tampered chain passes integrity")
+	}
+}
+
+func TestReceiptLookup(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	r, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Receipt(r.TxHash)
+	if !ok || got.GasUsed != r.GasUsed {
+		t.Fatal("receipt lookup failed")
+	}
+	if _, ok := c.Receipt(Hash{1}); ok {
+		t.Fatal("phantom receipt")
+	}
+}
+
+func TestStorageGasCosts(t *testing.T) {
+	gas := NewGasMeter(1_000_000)
+	s := NewStorage().metered(gas, &journal{})
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	afterSet := gas.Used()
+	if afterSet != GasSStoreSet {
+		t.Fatalf("first set cost %d, want %d", afterSet, GasSStoreSet)
+	}
+	if err := s.Set("k", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if got := gas.Used() - afterSet; got != GasSStoreReset {
+		t.Fatalf("reset cost %d, want %d", got, GasSStoreReset)
+	}
+	before := gas.Used()
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if got := gas.Used() - before; got != GasSLoad {
+		t.Fatalf("load cost %d, want %d", got, GasSLoad)
+	}
+	// Multi-word values charge per word.
+	before = gas.Used()
+	big := make([]byte, 100) // 4 words
+	if err := s.Set("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if got := gas.Used() - before; got != 4*GasSStoreSet {
+		t.Fatalf("multi-word set cost %d, want %d", got, 4*GasSStoreSet)
+	}
+}
+
+func TestGasMeterExhaustion(t *testing.T) {
+	g := NewGasMeter(100)
+	if err := g.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Charge(50); !errors.Is(err, ErrOutOfGas) {
+		t.Fatal("over-limit charge accepted")
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("remaining = %d after exhaustion", g.Remaining())
+	}
+}
+
+func TestStorageIsolationBetweenContracts(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	if _, err := c.Deploy("other", &counter{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: 0}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Submit(Transaction{From: alice, Contract: "other", Method: "get", Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Return) != 0 {
+		t.Fatal("storage leaked across contracts")
+	}
+}
+
+func TestEventsByName(t *testing.T) {
+	c, alice := newTestChain(t)
+	deployCounter(t, c, alice)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(Transaction{From: alice, Contract: "counter", Method: "inc", Nonce: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			c.SealBlock() // events must be found across sealed and pending txs
+		}
+	}
+	evs := c.EventsByName("counter", "Incremented")
+	if len(evs) != 3 {
+		t.Fatalf("found %d events, want 3", len(evs))
+	}
+	// Order: the data payload encodes the counter value 1, 2, 3.
+	for i, ev := range evs {
+		if got := binary.BigEndian.Uint64(ev.Data); got != uint64(i+1) {
+			t.Fatalf("event %d has value %d", i, got)
+		}
+	}
+	if evs := c.EventsByName("counter", "Nope"); len(evs) != 0 {
+		t.Fatal("phantom events")
+	}
+	if evs := c.EventsByName("nope", "Incremented"); len(evs) != 0 {
+		t.Fatal("phantom contract events")
+	}
+}

@@ -1,0 +1,146 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+// Storage is a contract's persistent key-value store. Reads and writes go
+// through a gas-metered view; values are opaque byte strings and an absent
+// or empty value is the "zero" slot of the EVM cost model.
+type Storage struct {
+	data map[string][]byte
+	gas  *GasMeter // nil on the root store; set on metered views
+	jrnl *journal  // write journal for transaction rollback (metered views)
+}
+
+// journal records pre-images of mutated slots so a reverted transaction can
+// undo exactly what it touched (instead of snapshotting the whole state).
+type journal struct {
+	entries []journalEntry
+}
+
+type journalEntry struct {
+	store   *Storage
+	key     string
+	old     []byte
+	existed bool
+}
+
+func (j *journal) record(s *Storage, key string) {
+	old, existed := s.data[key]
+	var cp []byte
+	if existed {
+		cp = make([]byte, len(old))
+		copy(cp, old)
+	}
+	j.entries = append(j.entries, journalEntry{store: s, key: key, old: cp, existed: existed})
+}
+
+// revert undoes every write, newest first.
+func (j *journal) revert() {
+	for i := len(j.entries) - 1; i >= 0; i-- {
+		e := j.entries[i]
+		if e.existed {
+			e.store.data[e.key] = e.old
+		} else {
+			delete(e.store.data, e.key)
+		}
+	}
+	j.entries = nil
+}
+
+// NewStorage returns an empty store.
+func NewStorage() *Storage {
+	return &Storage{data: make(map[string][]byte)}
+}
+
+// metered returns a view that charges the given meter and journals writes.
+// The view shares the underlying data.
+func (s *Storage) metered(gas *GasMeter, j *journal) *Storage {
+	return &Storage{data: s.data, gas: gas, jrnl: j}
+}
+
+// Get reads a slot, charging SLOAD gas on metered views.
+func (s *Storage) Get(key string) ([]byte, error) {
+	if s.gas != nil {
+		if err := s.gas.Charge(GasSLoad); err != nil {
+			return nil, err
+		}
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return nil, nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Set writes a slot, charging SSTORE gas: 20k for zero→non-zero, 5k
+// otherwise. Multi-word values charge per 32-byte word, like Solidity
+// dynamic storage.
+func (s *Storage) Set(key string, value []byte) error {
+	if s.gas != nil {
+		words := uint64((len(value) + 31) / 32)
+		if words == 0 {
+			words = 1
+		}
+		_, existed := s.data[key]
+		var cost uint64
+		if !existed {
+			cost = GasSStoreSet * words
+		} else {
+			cost = GasSStoreReset * words
+		}
+		if err := s.gas.Charge(cost); err != nil {
+			return err
+		}
+	}
+	if s.jrnl != nil {
+		s.jrnl.record(s, key)
+	}
+	out := make([]byte, len(value))
+	copy(out, value)
+	s.data[key] = out
+	return nil
+}
+
+// Delete clears a slot.
+func (s *Storage) Delete(key string) error {
+	if s.gas != nil {
+		if err := s.gas.Charge(GasSStoreClear); err != nil {
+			return err
+		}
+	}
+	if s.jrnl != nil {
+		s.jrnl.record(s, key)
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Has reports whether a slot is non-empty (charges a read).
+func (s *Storage) Has(key string) (bool, error) {
+	v, err := s.Get(key)
+	return len(v) > 0, err
+}
+
+// digest hashes the store contents deterministically.
+func (s *Storage) digest() [32]byte {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write(s.data[k])
+		h.Write([]byte{1})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

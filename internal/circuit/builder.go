@@ -1,0 +1,275 @@
+// Package circuit is the arithmetic-circuit front-end for the Plonk
+// backend: a builder that records Plonk gates while eagerly computing
+// concrete wire values, plus the gadget library of §IV-D (boolean logic,
+// comparisons, range checks, selection, fixed-point arithmetic) that
+// ZKDET's transformation and exchange predicates are assembled from.
+//
+// Circuits are written as ordinary Go functions over the builder API. The
+// recorded gate structure must not depend on witness values (only on
+// circuit parameters such as sizes), which is the usual contract for SNARK
+// front-ends; values are carried along so the witness is produced by the
+// same pass.
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// Variable is a wire in the circuit. The zero value is invalid; obtain
+// Variables from a Builder.
+type Variable struct {
+	id int
+}
+
+type gateTmpl struct {
+	qL, qR, qO, qM, qC fr.Element
+	a, b, c            int
+}
+
+// Builder records gates and wire values. It is not safe for concurrent use.
+type Builder struct {
+	values    []fr.Element
+	public    []int // variable ids designated public, in order
+	gates     []gateTmpl
+	constants map[string]Variable
+}
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder() *Builder {
+	return &Builder{constants: make(map[string]Variable)}
+}
+
+// NbGates returns the number of gates recorded so far (excluding the
+// public-input gates added at compile time).
+func (b *Builder) NbGates() int { return len(b.gates) }
+
+// NbConstraints returns the total constraint count the compiled circuit
+// will have, the paper's cost metric.
+func (b *Builder) NbConstraints() int { return len(b.gates) + len(b.public) }
+
+func (b *Builder) newVar(val fr.Element) Variable {
+	b.values = append(b.values, val)
+	return Variable{id: len(b.values) - 1}
+}
+
+// Value returns the concrete value currently assigned to v.
+func (b *Builder) Value(v Variable) fr.Element { return b.values[v.id] }
+
+// Public allocates a public-input variable with the given value.
+func (b *Builder) Public(val fr.Element) Variable {
+	v := b.newVar(val)
+	b.public = append(b.public, v.id)
+	return v
+}
+
+// Secret allocates a private witness variable with the given value.
+func (b *Builder) Secret(val fr.Element) Variable {
+	return b.newVar(val)
+}
+
+// Constant returns a variable constrained to equal the constant c.
+// Identical constants share one variable.
+func (b *Builder) Constant(c fr.Element) Variable {
+	key := c.String()
+	if v, ok := b.constants[key]; ok {
+		return v
+	}
+	v := b.newVar(c)
+	var negC fr.Element
+	negC.Neg(&c)
+	// v - c = 0
+	b.gates = append(b.gates, gateTmpl{qL: fr.One(), qC: negC, a: v.id, b: v.id, c: v.id})
+	b.constants[key] = v
+	return v
+}
+
+// Zero returns the constant 0 and One the constant 1.
+func (b *Builder) Zero() Variable { return b.Constant(fr.Zero()) }
+
+// One returns the constant 1.
+func (b *Builder) One() Variable { return b.Constant(fr.One()) }
+
+var frOne = fr.One()
+
+func frNeg(x fr.Element) fr.Element {
+	var out fr.Element
+	out.Neg(&x)
+	return out
+}
+
+// Add returns x + y.
+func (b *Builder) Add(x, y Variable) Variable {
+	var val fr.Element
+	vx, vy := b.values[x.id], b.values[y.id]
+	val.Add(&vx, &vy)
+	out := b.newVar(val)
+	b.gates = append(b.gates, gateTmpl{qL: frOne, qR: frOne, qO: frNeg(frOne), a: x.id, b: y.id, c: out.id})
+	return out
+}
+
+// Sub returns x - y.
+func (b *Builder) Sub(x, y Variable) Variable {
+	var val fr.Element
+	vx, vy := b.values[x.id], b.values[y.id]
+	val.Sub(&vx, &vy)
+	out := b.newVar(val)
+	b.gates = append(b.gates, gateTmpl{qL: frOne, qR: frNeg(frOne), qO: frNeg(frOne), a: x.id, b: y.id, c: out.id})
+	return out
+}
+
+// Mul returns x · y.
+func (b *Builder) Mul(x, y Variable) Variable {
+	var val fr.Element
+	vx, vy := b.values[x.id], b.values[y.id]
+	val.Mul(&vx, &vy)
+	out := b.newVar(val)
+	b.gates = append(b.gates, gateTmpl{qM: frOne, qO: frNeg(frOne), a: x.id, b: y.id, c: out.id})
+	return out
+}
+
+// Square returns x².
+func (b *Builder) Square(x Variable) Variable { return b.Mul(x, x) }
+
+// Neg returns -x.
+func (b *Builder) Neg(x Variable) Variable {
+	return b.MulConst(x, frNeg(frOne))
+}
+
+// AddConst returns x + c.
+func (b *Builder) AddConst(x Variable, c fr.Element) Variable {
+	var val fr.Element
+	vx := b.values[x.id]
+	val.Add(&vx, &c)
+	out := b.newVar(val)
+	b.gates = append(b.gates, gateTmpl{qL: frOne, qC: c, qO: frNeg(frOne), a: x.id, b: x.id, c: out.id})
+	return out
+}
+
+// MulConst returns c · x.
+func (b *Builder) MulConst(x Variable, c fr.Element) Variable {
+	var val fr.Element
+	vx := b.values[x.id]
+	val.Mul(&vx, &c)
+	out := b.newVar(val)
+	b.gates = append(b.gates, gateTmpl{qL: c, qO: frNeg(frOne), a: x.id, b: x.id, c: out.id})
+	return out
+}
+
+// MulAdd returns x·y + z in a single gate pair.
+func (b *Builder) MulAdd(x, y, z Variable) Variable {
+	m := b.Mul(x, y)
+	return b.Add(m, z)
+}
+
+// Lc2 returns c1·x + c2·y in one gate.
+func (b *Builder) Lc2(x Variable, c1 fr.Element, y Variable, c2 fr.Element) Variable {
+	var val, t fr.Element
+	vx, vy := b.values[x.id], b.values[y.id]
+	val.Mul(&vx, &c1)
+	t.Mul(&vy, &c2)
+	val.Add(&val, &t)
+	out := b.newVar(val)
+	b.gates = append(b.gates, gateTmpl{qL: c1, qR: c2, qO: frNeg(frOne), a: x.id, b: y.id, c: out.id})
+	return out
+}
+
+// Inverse returns x⁻¹, constraining x·out = 1 (hence also x ≠ 0).
+func (b *Builder) Inverse(x Variable) Variable {
+	var val fr.Element
+	vx := b.values[x.id]
+	val.Inverse(&vx)
+	out := b.newVar(val)
+	// x·out - 1 = 0
+	b.gates = append(b.gates, gateTmpl{qM: frOne, qC: frNeg(frOne), a: x.id, b: out.id, c: out.id})
+	return out
+}
+
+// Div returns x / y, constraining y·out = x (hence y ≠ 0).
+func (b *Builder) Div(x, y Variable) Variable {
+	var val, inv fr.Element
+	vx, vy := b.values[x.id], b.values[y.id]
+	inv.Inverse(&vy)
+	val.Mul(&vx, &inv)
+	out := b.newVar(val)
+	// y·out - x = 0
+	b.gates = append(b.gates, gateTmpl{qM: frOne, qO: frNeg(frOne), a: y.id, b: out.id, c: x.id})
+	return out
+}
+
+// AssertEqual constrains x == y.
+func (b *Builder) AssertEqual(x, y Variable) {
+	b.gates = append(b.gates, gateTmpl{qL: frOne, qR: frNeg(frOne), a: x.id, b: y.id, c: x.id})
+}
+
+// AssertZero constrains x == 0.
+func (b *Builder) AssertZero(x Variable) {
+	b.gates = append(b.gates, gateTmpl{qL: frOne, a: x.id, b: x.id, c: x.id})
+}
+
+// AssertConst constrains x == c.
+func (b *Builder) AssertConst(x Variable, c fr.Element) {
+	b.gates = append(b.gates, gateTmpl{qL: frOne, qC: frNeg(c), a: x.id, b: x.id, c: x.id})
+}
+
+// AssertBoolean constrains x ∈ {0, 1} via x² = x.
+func (b *Builder) AssertBoolean(x Variable) {
+	// x·x - x = 0
+	b.gates = append(b.gates, gateTmpl{qM: frOne, qL: frNeg(frOne), a: x.id, b: x.id, c: x.id})
+}
+
+// AssertNonZero constrains x ≠ 0 (by exhibiting an inverse).
+func (b *Builder) AssertNonZero(x Variable) {
+	b.Inverse(x)
+}
+
+// Compile produces the Plonk constraint system and the witness vector.
+// Public variables are renumbered to the front, matching the backend's
+// convention.
+func (b *Builder) Compile() (*plonk.ConstraintSystem, []fr.Element, error) {
+	if len(b.values) == 0 {
+		return nil, nil, fmt.Errorf("circuit: empty circuit")
+	}
+	remap := make([]int, len(b.values))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, oldID := range b.public {
+		remap[oldID] = newID
+	}
+	next := len(b.public)
+	for old := range b.values {
+		if remap[old] == -1 {
+			remap[old] = next
+			next++
+		}
+	}
+	cs := plonk.NewConstraintSystem(len(b.public))
+	for next > cs.NbVariables() {
+		cs.NewVariable()
+	}
+	witness := make([]fr.Element, len(b.values))
+	for old, val := range b.values {
+		witness[remap[old]] = val
+	}
+	for _, g := range b.gates {
+		if err := cs.AddGate(plonk.Gate{
+			QL: g.qL, QR: g.qR, QO: g.qO, QM: g.qM, QC: g.qC,
+			A: remap[g.a], B: remap[g.b], C: remap[g.c],
+		}); err != nil {
+			return nil, nil, fmt.Errorf("circuit: %w", err)
+		}
+	}
+	return cs, witness, nil
+}
+
+// PublicValues returns the current values of the public inputs, in order.
+func (b *Builder) PublicValues() []fr.Element {
+	out := make([]fr.Element, len(b.public))
+	for i, id := range b.public {
+		out[i] = b.values[id]
+	}
+	return out
+}

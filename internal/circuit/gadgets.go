@@ -1,0 +1,332 @@
+package circuit
+
+import (
+	"math/big"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// This file implements the gadget library of §IV-D: the "fundamental
+// cryptographic and mathematical gadgets" predicates are composed from.
+// Cryptographic gadgets (MiMC, Poseidon, Merkle) live next to their native
+// implementations and build on these primitives.
+
+// IsZero returns a boolean variable that is 1 iff x == 0.
+//
+// It uses the classic two-constraint construction: allocate y (the claimed
+// bit) and m (a pseudo-inverse of x); constrain y·x = 0 and y = 1 - m·x.
+func (b *Builder) IsZero(x Variable) Variable {
+	vx := b.values[x.id]
+	var yVal, mVal fr.Element
+	if vx.IsZero() {
+		yVal.SetOne()
+	} else {
+		mVal.Inverse(&vx)
+	}
+	y := b.newVar(yVal)
+	m := b.newVar(mVal)
+	// y·x = 0
+	b.gates = append(b.gates, gateTmpl{qM: frOne, a: y.id, b: x.id, c: y.id})
+	// m·x + y - 1 = 0
+	b.gates = append(b.gates, gateTmpl{qM: frOne, qO: frOne, qC: frNeg(frOne), a: m.id, b: x.id, c: y.id})
+	return y
+}
+
+// IsEqual returns 1 iff x == y.
+func (b *Builder) IsEqual(x, y Variable) Variable {
+	return b.IsZero(b.Sub(x, y))
+}
+
+// And returns x ∧ y for boolean inputs (callers must have asserted
+// booleanity).
+func (b *Builder) And(x, y Variable) Variable { return b.Mul(x, y) }
+
+// Or returns x ∨ y for boolean inputs.
+func (b *Builder) Or(x, y Variable) Variable {
+	// x + y - x·y
+	m := b.Mul(x, y)
+	s := b.Add(x, y)
+	return b.Sub(s, m)
+}
+
+// Not returns ¬x for a boolean input.
+func (b *Builder) Not(x Variable) Variable {
+	var minusOne fr.Element
+	minusOne.Neg(&frOne)
+	return b.AddConst(b.MulConst(x, minusOne), frOne)
+}
+
+// Xor returns x ⊕ y for boolean inputs.
+func (b *Builder) Xor(x, y Variable) Variable {
+	// x + y - 2xy
+	m := b.Mul(x, y)
+	two := fr.NewElement(2)
+	var minusTwo fr.Element
+	minusTwo.Neg(&two)
+	s := b.Add(x, y)
+	return b.Add(s, b.MulConst(m, minusTwo))
+}
+
+// Select returns cond ? a : b for a boolean cond.
+func (b *Builder) Select(cond, a, bb Variable) Variable {
+	d := b.Sub(a, bb)
+	m := b.Mul(cond, d)
+	return b.Add(bb, m)
+}
+
+// ToBits decomposes x into n little-endian boolean variables and constrains
+// Σ 2^i·bit_i == x. It costs ~2n gates; n must cover the value's range for
+// the witness to satisfy the constraints.
+func (b *Builder) ToBits(x Variable, n int) []Variable {
+	vx := b.values[x.id]
+	val := vx.BigInt()
+	bits := make([]Variable, n)
+	for i := 0; i < n; i++ {
+		bit := fr.NewElement(uint64(val.Bit(i)))
+		bits[i] = b.newVar(bit)
+		b.AssertBoolean(bits[i])
+	}
+	// Accumulate: acc_{i+1} = acc_i + 2^i·bit_i, then acc == x.
+	acc := b.MulConst(bits[0], frOne)
+	coeff := new(big.Int).SetUint64(2)
+	for i := 1; i < n; i++ {
+		c := fr.FromBig(coeff)
+		acc = b.Lc2(acc, frOne, bits[i], c)
+		coeff.Lsh(coeff, 1)
+	}
+	b.AssertEqual(acc, x)
+	return bits
+}
+
+// FromBits recomposes little-endian boolean variables into a field element.
+func (b *Builder) FromBits(bits []Variable) Variable {
+	if len(bits) == 0 {
+		return b.Zero()
+	}
+	acc := b.MulConst(bits[0], frOne)
+	coeff := new(big.Int).SetUint64(2)
+	for i := 1; i < len(bits); i++ {
+		c := fr.FromBig(coeff)
+		acc = b.Lc2(acc, frOne, bits[i], c)
+		coeff.Lsh(coeff, 1)
+	}
+	return acc
+}
+
+// AssertRange constrains x < 2^n.
+func (b *Builder) AssertRange(x Variable, n int) {
+	b.ToBits(x, n)
+}
+
+// IsLess returns 1 iff x < y, treating both as n-bit unsigned integers
+// (callers must ensure x, y < 2^n).
+func (b *Builder) IsLess(x, y Variable, n int) Variable {
+	// z = 2^n + x - y ∈ (0, 2^{n+1}); bit n of z is 1 iff x >= y.
+	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(n)))
+	z := b.AddConst(b.Sub(x, y), pow)
+	bits := b.ToBits(z, n+1)
+	return b.Not(bits[n])
+}
+
+// IsLessOrEqual returns 1 iff x <= y for n-bit values.
+func (b *Builder) IsLessOrEqual(x, y Variable, n int) Variable {
+	lt := b.IsLess(y, x, n) // y < x
+	return b.Not(lt)
+}
+
+// AssertLess constrains x < y for n-bit values.
+func (b *Builder) AssertLess(x, y Variable, n int) {
+	lt := b.IsLess(x, y, n)
+	b.AssertConst(lt, frOne)
+}
+
+// AssertLessOrEqual constrains x <= y for n-bit values.
+func (b *Builder) AssertLessOrEqual(x, y Variable, n int) {
+	le := b.IsLessOrEqual(x, y, n)
+	b.AssertConst(le, frOne)
+}
+
+// Exp returns x^e for a fixed public exponent via square-and-multiply
+// (log2(e) squarings).
+func (b *Builder) Exp(x Variable, e uint64) Variable {
+	if e == 0 {
+		return b.One()
+	}
+	// Find the highest bit.
+	hi := 63
+	for hi > 0 && (e>>uint(hi))&1 == 0 {
+		hi--
+	}
+	acc := x
+	for i := hi - 1; i >= 0; i-- {
+		acc = b.Square(acc)
+		if (e>>uint(i))&1 == 1 {
+			acc = b.Mul(acc, x)
+		}
+	}
+	return acc
+}
+
+// Sum returns Σ xs.
+func (b *Builder) Sum(xs []Variable) Variable {
+	if len(xs) == 0 {
+		return b.Zero()
+	}
+	acc := xs[0]
+	for _, x := range xs[1:] {
+		acc = b.Add(acc, x)
+	}
+	return acc
+}
+
+// InnerProduct returns Σ xs[i]·ys[i]; the core of the matrix and ML gadgets.
+func (b *Builder) InnerProduct(xs, ys []Variable) Variable {
+	if len(xs) != len(ys) {
+		panic("circuit: inner product length mismatch")
+	}
+	if len(xs) == 0 {
+		return b.Zero()
+	}
+	acc := b.Mul(xs[0], ys[0])
+	for i := 1; i < len(xs); i++ {
+		acc = b.MulAdd(xs[i], ys[i], acc)
+	}
+	return acc
+}
+
+// MatVecMul returns M·v for an r×c matrix (row-major slices of Variables).
+func (b *Builder) MatVecMul(m [][]Variable, v []Variable) []Variable {
+	out := make([]Variable, len(m))
+	for i, row := range m {
+		out[i] = b.InnerProduct(row, v)
+	}
+	return out
+}
+
+// Fixed-point arithmetic: values are integers scaled by 2^FixedShift,
+// letting ML circuits (§IV-E) approximate reals in the field. Negative
+// numbers use the field's high range (two's-complement-like); comparisons
+// on fixed-point values must go through the signed gadgets below.
+
+// FixedShift is the binary scaling factor of fixed-point gadget values.
+const FixedShift = 16
+
+// FixedFromFloat converts a float to its fixed-point field representation.
+func FixedFromFloat(f float64) fr.Element {
+	scaled := int64(f * (1 << FixedShift))
+	return fr.NewFromInt64(scaled)
+}
+
+// FixedToFloat converts a fixed-point field value back to a float
+// (interpreting the top half of the field as negatives).
+func FixedToFloat(e fr.Element) float64 {
+	half := new(big.Int).Rsh(fr.Modulus(), 1)
+	v := e.BigInt()
+	neg := false
+	if v.Cmp(half) > 0 {
+		v.Sub(fr.Modulus(), v)
+		neg = true
+	}
+	f, _ := new(big.Float).SetInt(v).Float64()
+	f /= float64(int64(1) << FixedShift)
+	if neg {
+		f = -f
+	}
+	return f
+}
+
+// FixedMul multiplies two fixed-point values and rescales by 2^FixedShift.
+// The truncated quotient is provided as a witness and bound by the
+// constraint x·y = q·2^shift + rem with rem < 2^shift.
+func (b *Builder) FixedMul(x, y Variable) Variable {
+	prod := b.Mul(x, y)
+	return b.fixedRescale(prod)
+}
+
+// fixedBound is the bit bound on |v| accepted by fixedRescale; fixed-point
+// circuit values must stay below 2^fixedBound in magnitude.
+const fixedBound = 100
+
+// fixedRescale divides v by 2^FixedShift (floor division on the offset
+// representation). The construction is witness-independent: shift v into
+// the non-negative range by adding 2^fixedBound, decompose as
+// w = q'·2^shift + r with range checks, and return q' - 2^(fixedBound-shift).
+func (b *Builder) fixedRescale(v Variable) Variable {
+	offset := new(big.Int).Lsh(big.NewInt(1), fixedBound)
+	w := b.AddConst(v, fr.FromBig(offset))
+
+	// Witness computation of quotient and remainder of w.
+	wVal := b.values[w.id].BigInt()
+	q := new(big.Int).Rsh(wVal, FixedShift)
+	r := new(big.Int).And(wVal, new(big.Int).SetUint64((1<<FixedShift)-1))
+	quot := b.newVar(fr.FromBig(q))
+	rem := b.newVar(fr.FromBig(r))
+
+	// w = quot·2^shift + rem, rem < 2^shift, quot < 2^(fixedBound+1-shift).
+	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), FixedShift))
+	recon := b.Lc2(quot, pow, rem, frOne)
+	b.AssertEqual(recon, w)
+	b.AssertRange(rem, FixedShift)
+	b.AssertRange(quot, fixedBound+1-FixedShift)
+
+	// Undo the (scaled) offset.
+	off := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), fixedBound-FixedShift))
+	var negOff fr.Element
+	negOff.Neg(&off)
+	return b.AddConst(quot, negOff)
+}
+
+// ReLU returns max(0, x) for a signed fixed-point value known to have
+// magnitude < 2^n.
+func (b *Builder) ReLU(x Variable, n int) Variable {
+	isNeg := b.isNegative(x, n)
+	return b.Select(isNeg, b.Zero(), x)
+}
+
+// isNegative returns 1 iff x represents a negative number (top half of the
+// field), for |x| < 2^n.
+func (b *Builder) isNegative(x Variable, n int) Variable {
+	// x + 2^n ∈ (0, 2^{n+1}); bit n is 0 exactly when x is negative.
+	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(n)))
+	shifted := b.AddConst(x, pow)
+	bits := b.ToBits(shifted, n+1)
+	return b.Not(bits[n])
+}
+
+// AbsDiffLessOrEqual constrains |x - y| <= bound for signed fixed-point
+// values with magnitude < 2^n. This is the convergence predicate
+// ‖J(β^{k+1}) - J(β^k)‖ ≤ ε of §IV-E1.
+func (b *Builder) AbsDiffLessOrEqual(x, y Variable, bound fr.Element, n int) {
+	d := b.Sub(x, y)
+	isNeg := b.isNegative(d, n)
+	abs := b.Select(isNeg, b.Neg(d), d)
+	bv := b.Constant(bound)
+	b.AssertLessOrEqual(abs, bv, n)
+}
+
+// FixedDivPos divides two positive fixed-point values: out ≈ x/y scaled by
+// 2^FixedShift, via the witness-quotient construction
+// x·2^shift = q·y + r with 0 ≤ r < y. Both operands must be positive and
+// below 2^n; attention-style normalizations are the intended use.
+func (b *Builder) FixedDivPos(x, y Variable, n int) Variable {
+	xv := b.values[x.id].BigInt()
+	yv := b.values[y.id].BigInt()
+	num := new(big.Int).Lsh(xv, FixedShift)
+	q := new(big.Int)
+	r := new(big.Int)
+	if yv.Sign() > 0 {
+		q.DivMod(num, yv, r)
+	}
+	quot := b.newVar(fr.FromBig(q))
+	rem := b.newVar(fr.FromBig(r))
+
+	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), FixedShift))
+	lhs := b.MulConst(x, pow)
+	qy := b.Mul(quot, y)
+	recon := b.Add(qy, rem)
+	b.AssertEqual(recon, lhs)
+	b.AssertRange(rem, n)
+	b.AssertLess(rem, y, n)
+	b.AssertRange(quot, n)
+	return quot
+}

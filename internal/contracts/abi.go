@@ -1,0 +1,98 @@
+// Package contracts implements ZKDET's on-chain layer as native-Go
+// contracts on the internal/chain substrate: the DataNFT token (ERC-721
+// semantics plus the prevIds[] lineage field of §III-B), the clock auction
+// of §III-C, the escrow arbiter 𝒥 of the key-secure exchange protocol
+// (§IV-F), and the on-chain Plonk verifier of §VI-C2.
+package contracts
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrBadArgs reports malformed call arguments.
+var ErrBadArgs = errors.New("contracts: malformed arguments")
+
+// EncodeArgs packs byte strings into a length-prefixed blob, the calling
+// convention of all contracts in this package.
+func EncodeArgs(parts ...[]byte) []byte {
+	size := 0
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	out := make([]byte, 0, size)
+	for _, p := range parts {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(p)))
+		out = append(out, l[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// DecodeArgs unpacks a length-prefixed blob into exactly n parts.
+func DecodeArgs(data []byte, n int) ([][]byte, error) {
+	parts, err := DecodeArgsVariadic(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != n {
+		return nil, fmt.Errorf("%w: got %d parts, want %d", ErrBadArgs, len(parts), n)
+	}
+	return parts, nil
+}
+
+// DecodeArgsVariadic unpacks a length-prefixed blob into all its parts.
+func DecodeArgsVariadic(data []byte) ([][]byte, error) {
+	var parts [][]byte
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("%w: truncated length prefix", ErrBadArgs)
+		}
+		l := binary.BigEndian.Uint32(data[:4])
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, fmt.Errorf("%w: truncated payload", ErrBadArgs)
+		}
+		parts = append(parts, data[:l])
+		data = data[l:]
+	}
+	return parts, nil
+}
+
+// U64 encodes a uint64 big-endian.
+func U64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// DecU64 decodes a big-endian uint64.
+func DecU64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: uint64 must be 8 bytes, got %d", ErrBadArgs, len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// U64List encodes a slice of token ids.
+func U64List(vs []uint64) []byte {
+	out := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		out = append(out, U64(v)...)
+	}
+	return out
+}
+
+// DecU64List decodes a packed id list.
+func DecU64List(b []byte) ([]uint64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: id list length %d", ErrBadArgs, len(b))
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(b[8*i : 8*i+8])
+	}
+	return out, nil
+}

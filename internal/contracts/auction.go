@@ -1,0 +1,221 @@
+package contracts
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/chain"
+)
+
+// AuctionName is the canonical deployment name of the auction contract.
+const AuctionName = "zkdet-auction"
+
+// AuctionCodeSize approximates the contract's code size for deployment gas.
+const AuctionCodeSize = 1800
+
+// Auction errors.
+var (
+	ErrListingExists  = errors.New("contracts: token already listed")
+	ErrUnknownListing = errors.New("contracts: unknown listing")
+	ErrBidTooLow      = errors.New("contracts: bid below current price")
+	ErrNotLister      = errors.New("contracts: caller did not create listing")
+)
+
+// ClockAuction is the descending-price ("clock") auction of §III-C: a
+// seller locks a token for sale, the price declines linearly from start to
+// end price over a block window, and the first sufficient bid wins. The
+// seller must approve the auction contract as the token's operator first.
+//
+// Methods:
+//
+//	create(tokenId, startPrice, endPrice, durationBlocks)
+//	bid(tokenId)                       (payable)
+//	cancel(tokenId)
+//	price(tokenId) → u64               (view)
+type ClockAuction struct {
+	nftName string
+}
+
+var _ chain.Contract = (*ClockAuction)(nil)
+
+// NewClockAuction creates an auction bound to an NFT deployment.
+func NewClockAuction(nftName string) *ClockAuction {
+	return &ClockAuction{nftName: nftName}
+}
+
+func listKey(id uint64, field string) string { return fmt.Sprintf("listing/%d/%s", id, field) }
+
+// Call dispatches a method invocation.
+func (a *ClockAuction) Call(ctx *chain.CallContext, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "create":
+		p, err := DecodeArgs(args, 4)
+		if err != nil {
+			return nil, err
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		start, err := DecU64(p[1])
+		if err != nil {
+			return nil, err
+		}
+		end, err := DecU64(p[2])
+		if err != nil {
+			return nil, err
+		}
+		dur, err := DecU64(p[3])
+		if err != nil {
+			return nil, err
+		}
+		return nil, a.create(ctx, id, start, end, dur)
+	case "bid":
+		p, err := DecodeArgs(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, a.bid(ctx, id)
+	case "cancel":
+		p, err := DecodeArgs(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, a.cancel(ctx, id)
+	case "price":
+		p, err := DecodeArgs(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		price, err := a.currentPrice(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return U64(price), nil
+	default:
+		return nil, fmt.Errorf("contracts: auction has no method %q", method)
+	}
+}
+
+func (a *ClockAuction) create(ctx *chain.CallContext, id, start, end, dur uint64) error {
+	if exists, err := ctx.Store.Has(listKey(id, "seller")); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %d", ErrListingExists, id)
+	}
+	if end > start {
+		return fmt.Errorf("%w: end price above start price", ErrBadArgs)
+	}
+	if dur == 0 {
+		return fmt.Errorf("%w: zero duration", ErrBadArgs)
+	}
+	if err := ctx.Store.Set(listKey(id, "seller"), ctx.Sender[:]); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(listKey(id, "terms"), EncodeArgs(U64(start), U64(end), U64(dur), U64(ctx.BlockNumber()))); err != nil {
+		return err
+	}
+	return ctx.Emit("Listed", EncodeArgs(U64(id), U64(start), U64(end), U64(dur)))
+}
+
+func (a *ClockAuction) terms(ctx *chain.CallContext, id uint64) (seller chain.Address, start, end, dur, createdAt uint64, err error) {
+	sellerRaw, err := ctx.Store.Get(listKey(id, "seller"))
+	if err != nil {
+		return
+	}
+	if len(sellerRaw) != 20 {
+		err = fmt.Errorf("%w: %d", ErrUnknownListing, id)
+		return
+	}
+	copy(seller[:], sellerRaw)
+	termsRaw, err := ctx.Store.Get(listKey(id, "terms"))
+	if err != nil {
+		return
+	}
+	parts, err := DecodeArgs(termsRaw, 4)
+	if err != nil {
+		return
+	}
+	start, _ = DecU64(parts[0])
+	end, _ = DecU64(parts[1])
+	dur, _ = DecU64(parts[2])
+	createdAt, _ = DecU64(parts[3])
+	return
+}
+
+func (a *ClockAuction) currentPrice(ctx *chain.CallContext, id uint64) (uint64, error) {
+	_, start, end, dur, createdAt, err := a.terms(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := ctx.BlockNumber() - createdAt
+	if elapsed >= dur {
+		return end, nil
+	}
+	// Linear decay from start to end over dur blocks.
+	return start - (start-end)*elapsed/dur, nil
+}
+
+func (a *ClockAuction) bid(ctx *chain.CallContext, id uint64) error {
+	seller, _, _, _, _, err := a.terms(ctx, id)
+	if err != nil {
+		return err
+	}
+	price, err := a.currentPrice(ctx, id)
+	if err != nil {
+		return err
+	}
+	if ctx.Value < price {
+		return fmt.Errorf("%w: offered %d, need %d", ErrBidTooLow, ctx.Value, price)
+	}
+	// Move the token: the auction must have been approved as operator.
+	if _, err := ctx.CallContract(a.nftName, "transferFrom",
+		EncodeArgs(U64(id), seller[:], ctx.Sender[:])); err != nil {
+		return err
+	}
+	// Pay the seller the clearing price; refund any excess to the bidder.
+	if err := ctx.Transfer(seller, price); err != nil {
+		return err
+	}
+	if ctx.Value > price {
+		if err := ctx.Transfer(ctx.Sender, ctx.Value-price); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Store.Delete(listKey(id, "seller")); err != nil {
+		return err
+	}
+	if err := ctx.Store.Delete(listKey(id, "terms")); err != nil {
+		return err
+	}
+	return ctx.Emit("Sold", EncodeArgs(U64(id), ctx.Sender[:], U64(price)))
+}
+
+func (a *ClockAuction) cancel(ctx *chain.CallContext, id uint64) error {
+	seller, _, _, _, _, err := a.terms(ctx, id)
+	if err != nil {
+		return err
+	}
+	if seller != ctx.Sender {
+		return fmt.Errorf("%w: %d", ErrNotLister, id)
+	}
+	if err := ctx.Store.Delete(listKey(id, "seller")); err != nil {
+		return err
+	}
+	if err := ctx.Store.Delete(listKey(id, "terms")); err != nil {
+		return err
+	}
+	return ctx.Emit("Cancelled", EncodeArgs(U64(id)))
+}

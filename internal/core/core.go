@@ -1,0 +1,115 @@
+// Package core implements ZKDET itself: the generic data transformation
+// protocol (§IV-B) with its decoupled proofs of encryption π_e and
+// transformation π_t, the transformation predicates of §IV-D, the
+// key-secure two-phase exchange protocol of §IV-F, and the ZKCP baseline
+// (§III-C) it is evaluated against — all over the Plonk/KZG/MiMC/Poseidon
+// stack in the sibling packages.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// System holds the universal SRS and a cache of circuit-specific
+// preprocessing (Plonk's circuit setup is per-shape, one-time; the SRS is
+// universal and reused, which is the point of the Plonk construction the
+// paper selects).
+type System struct {
+	srs *kzg.SRS
+
+	mu    sync.Mutex
+	cache map[string]*circuitKeys
+}
+
+type circuitKeys struct {
+	pk *plonk.ProvingKey
+	vk *plonk.VerifyingKey
+}
+
+// NewSystem creates a proving system over an SRS (from kzg.Setup or a
+// ceremony). The SRS bounds the largest provable circuit.
+func NewSystem(srs *kzg.SRS) *System {
+	return &System{srs: srs, cache: make(map[string]*circuitKeys)}
+}
+
+// NewTestSystem builds a System with a deterministic (insecure) SRS big
+// enough for circuits of maxConstraints gates; for tests and benchmarks.
+func NewTestSystem(maxConstraints int) (*System, error) {
+	n := 64
+	for n < maxConstraints {
+		n <<= 1
+	}
+	tau := fr.NewElement(0x5eed2025)
+	srs, err := kzg.NewSRSFromSecret(4*n+16, &tau)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(srs), nil
+}
+
+// SRS exposes the system's reference string.
+func (s *System) SRS() *kzg.SRS { return s.srs }
+
+// keysFor compiles the builder and returns (possibly cached) Plonk keys for
+// the circuit shape identified by key. Builders passed here must produce a
+// witness-independent gate structure for a fixed shape key, which all
+// circuits in this package do.
+func (s *System) keysFor(key string, b *circuit.Builder) (*circuitKeys, *plonk.ConstraintSystem, []fr.Element, error) {
+	cs, witness, err := b.Compile()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: compiling %s: %w", key, err)
+	}
+	s.mu.Lock()
+	ck, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return ck, cs, witness, nil
+	}
+	pk, vk, err := plonk.Setup(cs, s.srs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: setup %s: %w", key, err)
+	}
+	ck = &circuitKeys{pk: pk, vk: vk}
+	s.mu.Lock()
+	s.cache[key] = ck
+	s.mu.Unlock()
+	return ck, cs, witness, nil
+}
+
+// vkFor returns the verifying key for a circuit shape, building it (with a
+// zero witness) if the shape has not been set up yet.
+func (s *System) vkFor(key string, build func() *circuit.Builder) (*plonk.VerifyingKey, error) {
+	s.mu.Lock()
+	ck, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return ck.vk, nil
+	}
+	ck2, _, _, err := s.keysFor(key, build())
+	if err != nil {
+		return nil, err
+	}
+	return ck2.vk, nil
+}
+
+// prove runs the standard compile→setup→check→prove pipeline.
+func (s *System) prove(key string, b *circuit.Builder) (*plonk.Proof, []fr.Element, error) {
+	ck, cs, witness, err := s.keysFor(key, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cs.IsSatisfied(witness); err != nil {
+		return nil, nil, fmt.Errorf("core: %s witness: %w", key, err)
+	}
+	proof, err := plonk.Prove(ck.pk, witness)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: proving %s: %w", key, err)
+	}
+	return proof, b.PublicValues(), nil
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Shared test system: SRS large enough for every core test circuit.
+var testSys = sync.OnceValue(func() *System {
+	s, err := NewTestSystem(1 << 13)
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+func smallData(n int) Dataset {
+	d := make(Dataset, n)
+	for i := range d {
+		d[i] = fr.NewElement(uint64(100 + i))
+	}
+	return d
+}
+
+func TestEncodeDecodeBytes(t *testing.T) {
+	cases := [][]byte{
+		[]byte("hello"),
+		bytes.Repeat([]byte{0xab}, 100),
+		{},
+		{0},
+		bytes.Repeat([]byte{0}, 31),
+		bytes.Repeat([]byte{0xff}, 62),
+	}
+	for _, in := range cases {
+		d := EncodeBytes(in)
+		out, err := DecodeBytes(d)
+		if err != nil {
+			t.Fatalf("decode %d bytes: %v", len(in), err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("round trip mismatch for %d bytes", len(in))
+		}
+	}
+	if _, err := DecodeBytes(nil); !errors.Is(err, ErrDatasetEmpty) {
+		t.Fatal("empty dataset decoded")
+	}
+}
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	d := smallData(5)
+	k := fr.MustRandom()
+	ct := d.Encrypt(k)
+	back := ct.Decrypt(k)
+	for i := range d {
+		if !back[i].Equal(&d[i]) {
+			t.Fatal("decrypt mismatch")
+		}
+	}
+	// Serialization.
+	raw := ct.Bytes()
+	ct2, err := CiphertextFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ct2.Nonce.Equal(&ct.Nonce) || len(ct2.Blocks) != len(ct.Blocks) {
+		t.Fatal("ciphertext serialization mismatch")
+	}
+	if _, err := CiphertextFromBytes(raw[:33]); err == nil {
+		t.Fatal("ragged ciphertext accepted")
+	}
+}
+
+func TestEncryptionProofRoundTrip(t *testing.T) {
+	sys := testSys()
+	data := smallData(4)
+	key := fr.MustRandom()
+	st, _, ct, proof, err := sys.EncryptAndProve(data, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyEncryption(st, proof); err != nil {
+		t.Fatalf("honest π_e rejected: %v", err)
+	}
+	// The ciphertext in the statement is the real one.
+	back := ct.Decrypt(key)
+	if !back[0].Equal(&data[0]) {
+		t.Fatal("ciphertext does not decrypt")
+	}
+	// Tampered ciphertext must not verify (Theorem 5.1 integrity).
+	bad := *st
+	bad.Ciphertext = append([]fr.Element{}, st.Ciphertext...)
+	bad.Ciphertext[2] = fr.NewElement(12345)
+	if err := sys.VerifyEncryption(&bad, proof); err == nil {
+		t.Fatal("tampered ciphertext verified")
+	}
+	// Tampered data commitment must not verify.
+	bad2 := *st
+	bad2.DataCommitment = fr.NewElement(1)
+	if err := sys.VerifyEncryption(&bad2, proof); err == nil {
+		t.Fatal("tampered commitment verified")
+	}
+	// Empty dataset rejected.
+	if _, _, _, _, err := sys.EncryptAndProve(nil, key); !errors.Is(err, ErrDatasetEmpty) {
+		t.Fatal("empty dataset proved")
+	}
+}
+
+func TestDuplicationProof(t *testing.T) {
+	sys := testSys()
+	data := smallData(4)
+	cs, os := data.Commit()
+	tp, _, err := sys.ProveDuplication(data, cs, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyTransform(tp, nil); err != nil {
+		t.Fatalf("honest duplication rejected: %v", err)
+	}
+	// The derived commitment differs from the source (fresh blinder) yet
+	// commits the same content.
+	if tp.Sources[0].Equal(&tp.Derived[0]) {
+		t.Fatal("derived commitment identical to source")
+	}
+	// Tampering with the derived commitment must fail.
+	bad := *tp
+	bad.Derived = []fr.Element{fr.NewElement(42)}
+	if err := sys.VerifyTransform(&bad, nil); err == nil {
+		t.Fatal("tampered duplication verified")
+	}
+}
+
+func TestAggregationProof(t *testing.T) {
+	sys := testSys()
+	s1, s2 := smallData(3), smallData(2)
+	c1, o1 := s1.Commit()
+	c2, o2 := s2.Commit()
+	tp, derived, _, err := sys.ProveAggregation([]Dataset{s1, s2}, []fr.Element{c1, c2}, []fr.Element{o1, o2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 5 {
+		t.Fatalf("derived size %d", len(derived))
+	}
+	// Order matters: D = S1 ‖ S2.
+	if !derived[0].Equal(&s1[0]) || !derived[3].Equal(&s2[0]) {
+		t.Fatal("aggregation order broken")
+	}
+	if err := sys.VerifyTransform(tp, nil); err != nil {
+		t.Fatalf("honest aggregation rejected: %v", err)
+	}
+	// Swapped source commitments must fail (wrong order).
+	bad := *tp
+	bad.Sources = []fr.Element{c2, c1}
+	if err := sys.VerifyTransform(&bad, nil); err == nil {
+		t.Fatal("swapped aggregation verified")
+	}
+	// Single source rejected.
+	if _, _, _, err := sys.ProveAggregation([]Dataset{s1}, []fr.Element{c1}, []fr.Element{o1}); !errors.Is(err, ErrBadShape) {
+		t.Fatal("single-source aggregation allowed")
+	}
+}
+
+func TestPartitionProof(t *testing.T) {
+	sys := testSys()
+	src := smallData(5)
+	cs, os := src.Commit()
+	tp, pieces, _, err := sys.ProvePartition(src, cs, os, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pieces) != 2 || len(pieces[0]) != 2 || len(pieces[1]) != 3 {
+		t.Fatalf("piece sizes wrong: %d/%d", len(pieces[0]), len(pieces[1]))
+	}
+	// Exhaustive & exclusive: concatenation reproduces the source.
+	recon := append(pieces[0].Clone(), pieces[1]...)
+	for i := range src {
+		if !recon[i].Equal(&src[i]) {
+			t.Fatal("partition lost or duplicated content")
+		}
+	}
+	if err := sys.VerifyTransform(tp, nil); err != nil {
+		t.Fatalf("honest partition rejected: %v", err)
+	}
+	// Invalid shapes.
+	if _, _, _, err := sys.ProvePartition(src, cs, os, []int{5}); !errors.Is(err, ErrBadShape) {
+		t.Fatal("1-piece partition allowed")
+	}
+	if _, _, _, err := sys.ProvePartition(src, cs, os, []int{2, 2}); !errors.Is(err, ErrBadShape) {
+		t.Fatal("non-exhaustive partition allowed")
+	}
+	if _, _, _, err := sys.ProvePartition(src, cs, os, []int{0, 5}); !errors.Is(err, ErrBadShape) {
+		t.Fatal("empty piece allowed")
+	}
+}
+
+// doubler is a toy Processor: d_i = 2·s_i.
+type doubler struct{}
+
+func (doubler) Name() string { return "doubler" }
+func (doubler) Apply(src Dataset) (Dataset, error) {
+	out := make(Dataset, len(src))
+	for i := range src {
+		out[i].Double(&src[i])
+	}
+	return out, nil
+}
+func (doubler) Gadget(b *circuit.Builder, src []circuit.Variable) []circuit.Variable {
+	out := make([]circuit.Variable, len(src))
+	for i := range src {
+		out[i] = b.Add(src[i], src[i])
+	}
+	return out
+}
+
+func TestProcessingProof(t *testing.T) {
+	sys := testSys()
+	src := smallData(4)
+	cs, os := src.Commit()
+	tp, derived, _, err := sys.ProveProcessing(doubler{}, src, cs, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want fr.Element
+	want.Double(&src[0])
+	if !derived[0].Equal(&want) {
+		t.Fatal("processing result wrong")
+	}
+	if err := sys.VerifyTransform(tp, doubler{}); err != nil {
+		t.Fatalf("honest processing rejected: %v", err)
+	}
+	if err := sys.VerifyTransform(tp, nil); err == nil {
+		t.Fatal("processing verified without its Processor")
+	}
+}
+
+func TestProofChain(t *testing.T) {
+	sys := testSys()
+	// S --dup--> D1 --process--> D2: links share commitments.
+	src := smallData(4)
+	cs, os := src.Commit()
+	dup, od, err := sys.ProveDuplication(src, cs, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, _, _, err := sys.ProveProcessing(doubler{}, src, dup.Derived[0], od)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := ProofChain{dup, proc}
+	if err := sys.VerifyChain(chain, map[int]Processor{1: doubler{}}); err != nil {
+		t.Fatalf("honest chain rejected: %v", err)
+	}
+	// A chain whose links do not connect must fail.
+	other := smallData(4)
+	co, oo := other.Commit()
+	stray, _, err := sys.ProveDuplication(other, co, oo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyChain(ProofChain{dup, stray}, nil); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("disconnected chain accepted: %v", err)
+	}
+	if err := sys.VerifyChain(nil, nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestKeySecureExchangeHonestFlow(t *testing.T) {
+	sys := testSys()
+	data := smallData(4)
+	key := fr.MustRandom()
+	pred := RangePredicate{Bits: 16}
+
+	seller, err := NewSeller(sys, data, key, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := seller.Listing(1000)
+
+	// Phase 1: buyer validates the data.
+	piP, err := seller.ProveData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buyer := NewBuyer(sys, listing, pred)
+	if err := buyer.VerifyData(piP); err != nil {
+		t.Fatalf("π_p rejected: %v", err)
+	}
+
+	// Buyer locks payment with the arbiter.
+	arb := NewArbiter(sys, listing.KeyCommitment)
+	kv, hv := buyer.Challenge()
+	arb.Lock(1000, hv)
+
+	// Phase 2: key negotiation.
+	st, piK, err := seller.NegotiateKey(kv, hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paid, err := arb.Settle(st, piK)
+	if err != nil {
+		t.Fatalf("π_k rejected: %v", err)
+	}
+	if paid != 1000 {
+		t.Fatalf("seller paid %d", paid)
+	}
+
+	// Buyer recovers k and decrypts.
+	kc, ok := arb.PublishedKC()
+	if !ok {
+		t.Fatal("kc not published")
+	}
+	got, err := buyer.Decrypt(kc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !got[i].Equal(&data[i]) {
+			t.Fatal("buyer recovered wrong data")
+		}
+	}
+
+	// Key secrecy: kc alone does not reveal k — a third party decrypting
+	// with kc gets garbage.
+	ct := Ciphertext{Nonce: listing.Statement.Nonce, Blocks: listing.Statement.Ciphertext}
+	eavesdrop := ct.Decrypt(kc)
+	if eavesdrop[0].Equal(&data[0]) {
+		t.Fatal("kc decrypts the ciphertext: key leaked")
+	}
+}
+
+func TestExchangeSellerFairness(t *testing.T) {
+	sys := testSys()
+	data := smallData(4)
+	key := fr.MustRandom()
+	pred := TruePredicate{}
+	seller, err := NewSeller(sys, data, key, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malicious buyer sends k_v that does not match h_v: honest seller
+	// aborts (Theorem 5.2 seller fairness).
+	kv := fr.MustRandom()
+	wrongHv := fr.NewElement(1)
+	if _, _, err := seller.NegotiateKey(kv, wrongHv); !errors.Is(err, ErrChallengeHash) {
+		t.Fatalf("seller did not abort on bad challenge: %v", err)
+	}
+}
+
+func TestExchangeBuyerFairness(t *testing.T) {
+	sys := testSys()
+	data := smallData(4)
+	key := fr.MustRandom()
+	pred := TruePredicate{}
+	seller, err := NewSeller(sys, data, key, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := seller.Listing(500)
+	buyer := NewBuyer(sys, listing, pred)
+	arb := NewArbiter(sys, listing.KeyCommitment)
+	kv, hv := buyer.Challenge()
+	arb.Lock(500, hv)
+
+	st, piK, err := seller.NegotiateKey(kv, hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malicious seller submits a k_c different from the proven one: the
+	// arbiter must not pay (Theorem 5.2 buyer fairness).
+	badSt := st
+	badSt.KC = fr.NewElement(999)
+	if _, err := arb.Settle(badSt, piK); err == nil {
+		t.Fatal("arbiter paid for a forged kc")
+	}
+	// Mismatched hv in the statement is rejected before verification.
+	badSt2 := st
+	badSt2.HV = fr.NewElement(1)
+	if _, err := arb.Settle(badSt2, piK); err == nil {
+		t.Fatal("arbiter accepted mismatched hv")
+	}
+	// Honest settle still works afterwards, then refund is zero.
+	if _, err := arb.Settle(st, piK); err != nil {
+		t.Fatal(err)
+	}
+	if arb.Refund() != 0 {
+		t.Fatal("refund after settle")
+	}
+}
+
+func TestExchangeRefundPath(t *testing.T) {
+	sys := testSys()
+	arb := NewArbiter(sys, fr.NewElement(7))
+	arb.Lock(250, fr.NewElement(9))
+	if got := arb.Refund(); got != 250 {
+		t.Fatalf("refund %d", got)
+	}
+	if got := arb.Refund(); got != 0 {
+		t.Fatal("double refund")
+	}
+}
+
+func TestSellerRejectsBadData(t *testing.T) {
+	sys := testSys()
+	// Data violating the predicate cannot be listed honestly...
+	data := Dataset{fr.NewFromInt64(-1)} // huge value, fails range check
+	if _, err := NewSeller(sys, data, fr.MustRandom(), RangePredicate{Bits: 16}); !errors.Is(err, ErrPredicateFailed) {
+		t.Fatal("predicate-violating listing accepted")
+	}
+	// ...and a forced proof attempt fails inside the SNARK.
+	s := &Seller{sys: sys, pred: RangePredicate{Bits: 16}, data: data, key: fr.MustRandom()}
+	s.ct = data.Encrypt(s.key)
+	s.cd, s.od = data.Commit()
+	s.ck, s.ok = KeyCommit(s.key)
+	if _, err := s.ProveData(); err == nil {
+		t.Fatal("π_p produced for predicate-violating data")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	good := Dataset{fr.NewElement(10), fr.NewElement(20)}
+	withZero := Dataset{fr.NewElement(10), fr.Zero()}
+	big := Dataset{fr.NewFromInt64(-5)}
+
+	if !(TruePredicate{}).Check(big) {
+		t.Fatal("true predicate rejected")
+	}
+	if !(RangePredicate{Bits: 8}).Check(good) || (RangePredicate{Bits: 8}).Check(big) {
+		t.Fatal("range predicate wrong")
+	}
+	sum := SumPredicate{Total: fr.NewElement(30)}
+	if !sum.Check(good) || sum.Check(withZero) {
+		t.Fatal("sum predicate wrong")
+	}
+	if !(NonZeroPredicate{}).Check(good) || (NonZeroPredicate{}).Check(withZero) {
+		t.Fatal("nonzero predicate wrong")
+	}
+	names := map[string]bool{}
+	for _, p := range []Predicate{TruePredicate{}, RangePredicate{Bits: 8}, sum, NonZeroPredicate{}} {
+		if names[p.Name()] {
+			t.Fatal("predicate names collide")
+		}
+		names[p.Name()] = true
+	}
+}
+
+func TestZKCPFlowAndLeak(t *testing.T) {
+	sys := testSys()
+	data := smallData(4)
+	key := fr.MustRandom()
+	pred := TruePredicate{}
+
+	seller, err := NewZKCPSeller(sys, data, key, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, proof, err := seller.Deliver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ZKCPVerify(sys, pred, st, proof); err != nil {
+		t.Fatalf("zkcp proof rejected: %v", err)
+	}
+	// Open phase: key goes public; judge accepts.
+	k := seller.Open()
+	if err := ZKCPFinalize(st, k); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong key rejected by the judge.
+	if err := ZKCPFinalize(st, fr.NewElement(1)); err == nil {
+		t.Fatal("judge accepted wrong key")
+	}
+	// THE FLAW: any third party now decrypts the public ciphertext.
+	leaked := ZKCPLeak(st, k)
+	for i := range data {
+		if !leaked[i].Equal(&data[i]) {
+			t.Fatal("leak demo failed — zkcp flaw not reproduced")
+		}
+	}
+}
+
+func TestZKCPVerifierCost(t *testing.T) {
+	p := ZKCPVerifierCost(4)
+	if p.IsInfinity() {
+		t.Fatal("cost model returned infinity")
+	}
+}
+
+func TestKeyCircuitVK(t *testing.T) {
+	sys := testSys()
+	vk1, err := sys.KeyCircuitVK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk2, err := sys.KeyCircuitVK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vk1 != vk2 {
+		t.Fatal("π_k setup not cached")
+	}
+	if vk1.NbPublic != 3 {
+		t.Fatalf("π_k has %d public inputs, want 3", vk1.NbPublic)
+	}
+}

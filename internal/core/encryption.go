@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/mimc"
+	"github.com/zkdet/zkdet/internal/plonk"
+	"github.com/zkdet/zkdet/internal/poseidon"
+)
+
+// EncryptionStatement is the public statement of a proof of encryption π_e
+// (§IV-B step 1): the published ciphertext plus commitments to the
+// plaintext dataset (c_d, reused by transformation and exchange proofs)
+// and to the key (c_k, the arbiter's c in §IV-F).
+type EncryptionStatement struct {
+	Nonce          fr.Element
+	DataCommitment fr.Element
+	KeyCommitment  fr.Element
+	Ciphertext     []fr.Element
+}
+
+// EncryptionWitness is the private side of π_e.
+type EncryptionWitness struct {
+	Data        Dataset
+	Key         fr.Element
+	DataBlinder fr.Element
+	KeyBlinder  fr.Element
+}
+
+// publics returns the statement as the circuit's public input vector.
+func (st *EncryptionStatement) publics() []fr.Element {
+	out := make([]fr.Element, 0, len(st.Ciphertext)+3)
+	out = append(out, st.Nonce, st.DataCommitment, st.KeyCommitment)
+	out = append(out, st.Ciphertext...)
+	return out
+}
+
+// buildEncryptionCircuit emits the π_e relation:
+//
+//	ĉ_i = d_i + MiMC(k, nonce+i)  for all i
+//	c_d = PoseidonCommit(D, o_d)
+//	c_k = PoseidonCommit(k, o_k)
+func buildEncryptionCircuit(st *EncryptionStatement, w *EncryptionWitness) *circuit.Builder {
+	b := circuit.NewBuilder()
+	nonce := b.Public(st.Nonce)
+	cd := b.Public(st.DataCommitment)
+	ck := b.Public(st.KeyCommitment)
+	cts := make([]circuit.Variable, len(st.Ciphertext))
+	for i := range st.Ciphertext {
+		cts[i] = b.Public(st.Ciphertext[i])
+	}
+
+	key := b.Secret(w.Key)
+	od := b.Secret(w.DataBlinder)
+	ok := b.Secret(w.KeyBlinder)
+	data := make([]circuit.Variable, len(w.Data))
+	for i := range w.Data {
+		data[i] = b.Secret(w.Data[i])
+	}
+
+	enc := mimc.GadgetEncryptCTR(b, key, nonce, data)
+	for i := range enc {
+		b.AssertEqual(enc[i], cts[i])
+	}
+	cdGot := poseidon.GadgetCommit(b, data, od)
+	b.AssertEqual(cdGot, cd)
+	ckGot := poseidon.GadgetCommit(b, []circuit.Variable{key}, ok)
+	b.AssertEqual(ckGot, ck)
+	return b
+}
+
+func encryptionKey(n int) string { return fmt.Sprintf("pi_e/%d", n) }
+
+// EncryptAndProve encrypts the dataset, commits to data and key, and
+// produces π_e. It returns the full statement (including fresh commitments
+// and blinders) alongside the proof — the decoupled π_e of §IV-B that is
+// computed once per dataset and reused by later transformations.
+func (s *System) EncryptAndProve(data Dataset, key fr.Element) (*EncryptionStatement, *EncryptionWitness, Ciphertext, *plonk.Proof, error) {
+	if len(data) == 0 {
+		return nil, nil, Ciphertext{}, nil, ErrDatasetEmpty
+	}
+	ct := data.Encrypt(key)
+	cd, od := data.Commit()
+	ck, ok := KeyCommit(key)
+	st := &EncryptionStatement{
+		Nonce:          ct.Nonce,
+		DataCommitment: cd,
+		KeyCommitment:  ck,
+		Ciphertext:     ct.Blocks,
+	}
+	w := &EncryptionWitness{Data: data, Key: key, DataBlinder: od, KeyBlinder: ok}
+	proof, _, err := s.prove(encryptionKey(len(data)), buildEncryptionCircuit(st, w))
+	if err != nil {
+		return nil, nil, Ciphertext{}, nil, err
+	}
+	return st, w, ct, proof, nil
+}
+
+// ProveEncryption produces π_e for an existing statement/witness pair
+// (e.g. re-proving after the statement was reconstructed from chain data).
+func (s *System) ProveEncryption(st *EncryptionStatement, w *EncryptionWitness) (*plonk.Proof, error) {
+	proof, _, err := s.prove(encryptionKey(len(w.Data)), buildEncryptionCircuit(st, w))
+	return proof, err
+}
+
+// VerifyEncryption checks π_e against a public statement.
+func (s *System) VerifyEncryption(st *EncryptionStatement, proof *plonk.Proof) error {
+	n := len(st.Ciphertext)
+	vk, err := s.vkFor(encryptionKey(n), func() *circuit.Builder {
+		dummy := &EncryptionStatement{Ciphertext: make([]fr.Element, n)}
+		return buildEncryptionCircuit(dummy, &EncryptionWitness{Data: make(Dataset, n)})
+	})
+	if err != nil {
+		return err
+	}
+	if err := plonk.Verify(vk, proof, st.publics()); err != nil {
+		return fmt.Errorf("core: π_e: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Predicate is a public property φ of a plaintext dataset that a seller
+// proves without revealing the data (§III-C, §IV-F). Implementations must
+// emit a witness-independent gate structure for a fixed dataset size.
+type Predicate interface {
+	// Name identifies the predicate (part of the circuit shape key).
+	Name() string
+	// Check evaluates φ natively.
+	Check(d Dataset) bool
+	// Gadget emits constraints enforcing φ(D) = 1.
+	Gadget(b *circuit.Builder, data []circuit.Variable)
+}
+
+// TruePredicate is the trivial φ accepting every dataset (ownership-only
+// exchanges).
+type TruePredicate struct{}
+
+// Name implements Predicate.
+func (TruePredicate) Name() string { return "true" }
+
+// Check implements Predicate.
+func (TruePredicate) Check(Dataset) bool { return true }
+
+// Gadget implements Predicate.
+func (TruePredicate) Gadget(*circuit.Builder, []circuit.Variable) {}
+
+// RangePredicate asserts every entry is below 2^Bits — e.g. "all readings
+// are valid 16-bit sensor values".
+type RangePredicate struct {
+	Bits int
+}
+
+// Name implements Predicate.
+func (p RangePredicate) Name() string { return fmt.Sprintf("range%d", p.Bits) }
+
+// Check implements Predicate.
+func (p RangePredicate) Check(d Dataset) bool {
+	for i := range d {
+		if d[i].BigInt().BitLen() > p.Bits {
+			return false
+		}
+	}
+	return true
+}
+
+// Gadget implements Predicate.
+func (p RangePredicate) Gadget(b *circuit.Builder, data []circuit.Variable) {
+	for _, v := range data {
+		b.AssertRange(v, p.Bits)
+	}
+}
+
+// SumPredicate asserts the entries sum to Total — e.g. a declared column
+// checksum.
+type SumPredicate struct {
+	Total fr.Element
+}
+
+// Name implements Predicate.
+func (p SumPredicate) Name() string { return "sum/" + p.Total.String() }
+
+// Check implements Predicate.
+func (p SumPredicate) Check(d Dataset) bool {
+	var acc fr.Element
+	for i := range d {
+		acc.Add(&acc, &d[i])
+	}
+	return acc.Equal(&p.Total)
+}
+
+// Gadget implements Predicate.
+func (p SumPredicate) Gadget(b *circuit.Builder, data []circuit.Variable) {
+	sum := b.Sum(data)
+	b.AssertConst(sum, p.Total)
+}
+
+// NonZeroPredicate asserts every entry is non-zero (no missing values).
+type NonZeroPredicate struct{}
+
+// Name implements Predicate.
+func (NonZeroPredicate) Name() string { return "nonzero" }
+
+// Check implements Predicate.
+func (NonZeroPredicate) Check(d Dataset) bool {
+	for i := range d {
+		if d[i].IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Gadget implements Predicate.
+func (NonZeroPredicate) Gadget(b *circuit.Builder, data []circuit.Variable) {
+	for _, v := range data {
+		b.AssertNonZero(v)
+	}
+}

@@ -1,0 +1,122 @@
+package ff
+
+import "math/bits"
+
+// Unrolled CIOS ("no-carry" variant) Montgomery multiplication for moduli
+// of at most 254 bits: with the top modulus word below 2^62 the
+// intermediate accumulator never overflows its fifth word, so the carry
+// word and its bookkeeping disappear. Both BN254 fields qualify; NewField
+// falls back to the generic loop for wider moduli.
+
+// canUseUnrolled reports whether the no-carry optimization is sound for
+// this modulus.
+func canUseUnrolled(bitLen int) bool { return bitLen <= 254 }
+
+func madd0(a, b, c uint64) (hi uint64) {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+func madd1(a, b, c uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+func madd2(a, b, c, d uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	c, carry = bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+func madd3(a, b, c, d, e uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	c, carry = bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, e, carry)
+	return
+}
+
+// mulUnrolled sets z = x·y in Montgomery form.
+func (f *Field) mulUnrolled(z, x, y *Element) {
+	var t0, t1, t2, t3 uint64
+	var c0, c1, c2 uint64
+	q0, q1, q2, q3 := f.modulus[0], f.modulus[1], f.modulus[2], f.modulus[3]
+	inv := f.inv
+
+	{
+		// round 0
+		v := x[0]
+		c1, c0 = bits.Mul64(v, y[0])
+		m := c0 * inv
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd1(v, y[1], c1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd1(v, y[2], c1)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd1(v, y[3], c1)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
+	}
+	{
+		// round 1
+		v := x[1]
+		c1, c0 = madd1(v, y[0], t0)
+		m := c0 * inv
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd2(v, y[1], c1, t1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t2)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t3)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
+	}
+	{
+		// round 2
+		v := x[2]
+		c1, c0 = madd1(v, y[0], t0)
+		m := c0 * inv
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd2(v, y[1], c1, t1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t2)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t3)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
+	}
+	{
+		// round 3
+		v := x[3]
+		c1, c0 = madd1(v, y[0], t0)
+		m := c0 * inv
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd2(v, y[1], c1, t1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t2)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t3)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
+	}
+
+	// Final conditional subtraction.
+	var b uint64
+	var s0, s1, s2, s3 uint64
+	s0, b = bits.Sub64(t0, q0, 0)
+	s1, b = bits.Sub64(t1, q1, b)
+	s2, b = bits.Sub64(t2, q2, b)
+	s3, b = bits.Sub64(t3, q3, b)
+	if b == 0 {
+		z[0], z[1], z[2], z[3] = s0, s1, s2, s3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+}

@@ -1,0 +1,205 @@
+// Package fr implements the BN254 scalar field
+// (r = 21888242871839275222246405745257275088548364400416034343698204186575808495617),
+// the field over which all ZKDET circuits, polynomials and proofs are defined.
+//
+// Element uses Montgomery form internally (backed by internal/ff) and offers
+// a chainable pointer API: z.Add(&x, &y) sets z = x+y and returns z.
+package fr
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/zkdet/zkdet/internal/ff"
+)
+
+// ModulusDecimal is the BN254 scalar field modulus in base 10.
+const ModulusDecimal = "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+// Bytes is the canonical encoded size of an element.
+const Bytes = 32
+
+// TwoAdicity is the largest s with 2^s | r-1; FFT domains of size up to
+// 2^TwoAdicity exist in the field.
+const TwoAdicity = 28
+
+// MultiplicativeGenerator generates the multiplicative group of the field.
+const MultiplicativeGenerator = 5
+
+// field is the shared immutable backing field; it is effectively a constant.
+var field = ff.MustNewField(ModulusDecimal)
+
+// Element is an element of the BN254 scalar field in Montgomery form.
+// The zero value is 0.
+type Element struct {
+	v ff.Element
+}
+
+// Modulus returns a copy of the field modulus r.
+func Modulus() *big.Int { return field.Modulus() }
+
+// Zero returns 0.
+func Zero() Element { return Element{} }
+
+// One returns 1.
+func One() Element { return Element{v: field.One()} }
+
+// NewElement returns the element representing v.
+func NewElement(v uint64) Element { return Element{v: field.FromUint64(v)} }
+
+// NewFromInt64 returns the element representing v, mapping negatives to
+// their additive inverses mod r.
+func NewFromInt64(v int64) Element {
+	if v >= 0 {
+		return NewElement(uint64(v))
+	}
+	e := NewElement(uint64(-v))
+	var z Element
+	z.Neg(&e)
+	return z
+}
+
+// FromBig returns b mod r.
+func FromBig(b *big.Int) Element { return Element{v: field.FromBig(b)} }
+
+// MustFromDecimal parses a base-10 literal; it panics on malformed input and
+// is intended for compile-time constants.
+func MustFromDecimal(s string) Element {
+	b, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("fr: invalid decimal literal " + s)
+	}
+	return FromBig(b)
+}
+
+// FromBytes interprets b as a big-endian integer and reduces it mod r.
+func FromBytes(b []byte) Element { return Element{v: field.FromBytes(b)} }
+
+// FromBytesCanonical decodes a canonical 32-byte big-endian encoding,
+// rejecting non-reduced values.
+func FromBytesCanonical(b []byte) (Element, error) {
+	v, err := field.FromBytesCanonical(b)
+	if err != nil {
+		return Element{}, fmt.Errorf("fr: %w", err)
+	}
+	return Element{v: v}, nil
+}
+
+// Random returns a uniformly random element read from r (use crypto/rand.Reader).
+func Random(r io.Reader) (Element, error) {
+	b, err := rand.Int(r, field.Modulus())
+	if err != nil {
+		return Element{}, fmt.Errorf("fr: sampling randomness: %w", err)
+	}
+	return FromBig(b), nil
+}
+
+// MustRandom returns a uniformly random element from crypto/rand, panicking
+// if the system randomness source fails.
+func MustRandom() Element {
+	e, err := Random(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// BigInt returns the canonical integer value of z.
+func (z *Element) BigInt() *big.Int { return field.ToBig(&z.v) }
+
+// Bytes returns the canonical 32-byte big-endian encoding.
+func (z *Element) Bytes() [Bytes]byte {
+	var out [Bytes]byte
+	copy(out[:], field.Bytes(&z.v))
+	return out
+}
+
+// String returns the canonical decimal representation.
+func (z Element) String() string { return field.ToBig(&z.v).String() }
+
+// Uint64 returns the low 64 bits of the canonical value and whether the
+// value fits in a uint64.
+func (z *Element) Uint64() (uint64, bool) {
+	b := z.BigInt()
+	return b.Uint64(), b.IsUint64()
+}
+
+// IsZero reports whether z == 0.
+func (z *Element) IsZero() bool { return field.IsZero(&z.v) }
+
+// IsOne reports whether z == 1.
+func (z *Element) IsOne() bool { return field.IsOne(&z.v) }
+
+// Equal reports whether z == x.
+func (z *Element) Equal(x *Element) bool { return z.v == x.v }
+
+// Set sets z = x and returns z.
+func (z *Element) Set(x *Element) *Element { z.v = x.v; return z }
+
+// SetZero sets z = 0 and returns z.
+func (z *Element) SetZero() *Element { z.v = ff.Element{}; return z }
+
+// SetOne sets z = 1 and returns z.
+func (z *Element) SetOne() *Element { z.v = field.One(); return z }
+
+// SetUint64 sets z to the element representing v and returns z.
+func (z *Element) SetUint64(v uint64) *Element { z.v = field.FromUint64(v); return z }
+
+// Add sets z = x + y and returns z.
+func (z *Element) Add(x, y *Element) *Element { field.Add(&z.v, &x.v, &y.v); return z }
+
+// Sub sets z = x - y and returns z.
+func (z *Element) Sub(x, y *Element) *Element { field.Sub(&z.v, &x.v, &y.v); return z }
+
+// Mul sets z = x * y and returns z.
+func (z *Element) Mul(x, y *Element) *Element { field.Mul(&z.v, &x.v, &y.v); return z }
+
+// Square sets z = x^2 and returns z.
+func (z *Element) Square(x *Element) *Element { field.Square(&z.v, &x.v); return z }
+
+// Double sets z = 2x and returns z.
+func (z *Element) Double(x *Element) *Element { field.Double(&z.v, &x.v); return z }
+
+// Neg sets z = -x and returns z.
+func (z *Element) Neg(x *Element) *Element { field.Neg(&z.v, &x.v); return z }
+
+// Inverse sets z = x^{-1} (or 0 when x == 0) and returns z.
+func (z *Element) Inverse(x *Element) *Element { field.Inverse(&z.v, &x.v); return z }
+
+// Exp sets z = x^e for a non-negative exponent and returns z.
+func (z *Element) Exp(x *Element, e *big.Int) *Element { field.Exp(&z.v, &x.v, e); return z }
+
+// ExpUint64 sets z = x^e and returns z.
+func (z *Element) ExpUint64(x *Element, e uint64) *Element {
+	return z.Exp(x, new(big.Int).SetUint64(e))
+}
+
+// BatchInvert inverts every non-zero element of xs in place with a single
+// field inversion (Montgomery's trick). Zero entries stay zero.
+func BatchInvert(xs []Element) {
+	raw := make([]ff.Element, len(xs))
+	for i := range xs {
+		raw[i] = xs[i].v
+	}
+	field.BatchInverse(raw)
+	for i := range xs {
+		xs[i].v = raw[i]
+	}
+}
+
+// RootOfUnity returns a primitive 2^logN-th root of unity. It returns an
+// error when logN exceeds the field's two-adicity.
+func RootOfUnity(logN int) (Element, error) {
+	if logN < 0 || logN > TwoAdicity {
+		return Element{}, fmt.Errorf("fr: no 2^%d-th root of unity (two-adicity is %d)", logN, TwoAdicity)
+	}
+	// g^((r-1)/2^logN) for the multiplicative generator g.
+	exp := new(big.Int).Sub(field.Modulus(), big.NewInt(1))
+	exp.Rsh(exp, uint(logN))
+	g := NewElement(MultiplicativeGenerator)
+	var w Element
+	w.Exp(&g, exp)
+	return w, nil
+}

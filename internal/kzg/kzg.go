@@ -1,0 +1,162 @@
+// Package kzg implements the KZG (Kate–Zaverucha–Goldberg) polynomial
+// commitment scheme over BN254, the commitment layer underneath Plonk.
+//
+// It also implements a simulated multi-party "Powers of Tau" ceremony
+// (Ceremony) standing in for the Perpetual Powers of Tau used by the paper:
+// each contributor multiplies the structured reference string by powers of
+// a fresh secret, and publishes an update proof that lets anyone verify the
+// chain without trusting any single contributor.
+package kzg
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/poly"
+)
+
+// Common errors returned by this package.
+var (
+	ErrPolynomialTooLarge = errors.New("kzg: polynomial degree exceeds SRS size")
+	ErrInvalidSRS         = errors.New("kzg: invalid SRS")
+	ErrVerifyFailed       = errors.New("kzg: proof verification failed")
+)
+
+// SRS is a structured reference string: powers of a secret τ in G1 plus
+// [1]G2 and [τ]G2. The secret itself is "toxic waste" and is never stored.
+type SRS struct {
+	// G1 holds [τ^i]G1 for i = 0 … size-1.
+	G1 []bn254.G1Affine
+	// G2 holds [1]G2 and [τ]G2.
+	G2 [2]bn254.G2Affine
+}
+
+// MaxDegree returns the largest polynomial degree this SRS can commit to.
+func (s *SRS) MaxDegree() int { return len(s.G1) - 1 }
+
+// NewSRSFromSecret derives an SRS of the given size directly from a known
+// secret τ. Exposed for tests and as the ceremony's building block; real
+// deployments must use Setup or a Ceremony so τ is never known to anyone.
+func NewSRSFromSecret(size int, tau *fr.Element) (*SRS, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("kzg: srs size must be at least 2, got %d", size)
+	}
+	scalars := make([]fr.Element, size)
+	scalars[0] = fr.One()
+	for i := 1; i < size; i++ {
+		scalars[i].Mul(&scalars[i-1], tau)
+	}
+	g1 := bn254.G1Generator()
+	table := bn254.NewG1FixedBaseTable(&g1)
+	srs := &SRS{G1: table.MulMany(scalars)}
+	g2 := bn254.G2Generator()
+	srs.G2[0] = g2
+	srs.G2[1] = bn254.G2ScalarMul(&g2, tau)
+	return srs, nil
+}
+
+// Setup generates an SRS from fresh randomness and discards the secret.
+func Setup(size int) (*SRS, error) {
+	tau, err := fr.Random(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("kzg: setup: %w", err)
+	}
+	return NewSRSFromSecret(size, &tau)
+}
+
+// Commitment is a KZG commitment: a single G1 point, independent of the
+// committed polynomial's degree.
+type Commitment = bn254.G1Affine
+
+// OpeningProof attests that the committed polynomial evaluates to
+// ClaimedValue at some point; the proof is the single point [q(τ)]G1 for
+// the quotient q(X) = (p(X) - y)/(X - z).
+type OpeningProof struct {
+	Quotient     bn254.G1Affine
+	ClaimedValue fr.Element
+}
+
+// Commit returns the commitment [p(τ)]G1.
+func Commit(srs *SRS, p poly.Polynomial) (Commitment, error) {
+	p = p.Trim()
+	if len(p) > len(srs.G1) {
+		return Commitment{}, fmt.Errorf("%w: degree %d > %d", ErrPolynomialTooLarge, len(p)-1, srs.MaxDegree())
+	}
+	return bn254.G1MSM(srs.G1[:len(p)], p)
+}
+
+// Open produces an opening proof for p at point z.
+func Open(srs *SRS, p poly.Polynomial, z *fr.Element) (OpeningProof, error) {
+	q, y := poly.DivideByLinear(p, z)
+	c, err := Commit(srs, q)
+	if err != nil {
+		return OpeningProof{}, fmt.Errorf("kzg: committing quotient: %w", err)
+	}
+	return OpeningProof{Quotient: c, ClaimedValue: y}, nil
+}
+
+// Verify checks an opening proof: e(C - [y]G1 + z·π, G2) · e(-π, [τ]G2) == 1.
+func Verify(srs *SRS, c *Commitment, z *fr.Element, proof *OpeningProof) error {
+	g1 := bn254.G1Generator()
+	yG1 := bn254.G1ScalarMul(&g1, &proof.ClaimedValue)
+	var negYG1 bn254.G1Affine
+	negYG1.Neg(&yG1)
+	zPi := bn254.G1ScalarMul(&proof.Quotient, z)
+
+	f := bn254.G1Add(c, &negYG1)
+	f = bn254.G1Add(&f, &zPi)
+
+	var negPi bn254.G1Affine
+	negPi.Neg(&proof.Quotient)
+
+	ok, err := bn254.PairingCheck(
+		[]bn254.G1Affine{f, negPi},
+		[]bn254.G2Affine{srs.G2[0], srs.G2[1]},
+	)
+	if err != nil {
+		return fmt.Errorf("kzg: %w", err)
+	}
+	if !ok {
+		return ErrVerifyFailed
+	}
+	return nil
+}
+
+// BatchVerifySamePoint checks several openings at the same point z with a
+// single pairing check, by taking a random linear combination of the
+// individual checks with powers of rho (which the caller should derive from
+// a transcript).
+func BatchVerifySamePoint(srs *SRS, cs []Commitment, z *fr.Element, proofs []OpeningProof, rho *fr.Element) error {
+	if len(cs) != len(proofs) {
+		return fmt.Errorf("kzg: %d commitments, %d proofs", len(cs), len(proofs))
+	}
+	if len(cs) == 0 {
+		return nil
+	}
+	// Fold commitments, values and quotients with powers of rho.
+	coeff := fr.One()
+	var foldC bn254.G1Jac
+	var foldQ bn254.G1Jac
+	foldC.SetInfinity()
+	foldQ.SetInfinity()
+	foldY := fr.Zero()
+	for i := range cs {
+		var t bn254.G1Jac
+		t.ScalarMul(&cs[i], &coeff)
+		foldC.AddAssign(&t)
+		t.ScalarMul(&proofs[i].Quotient, &coeff)
+		foldQ.AddAssign(&t)
+		var ty fr.Element
+		ty.Mul(&proofs[i].ClaimedValue, &coeff)
+		foldY.Add(&foldY, &ty)
+		coeff.Mul(&coeff, rho)
+	}
+	var cAff, qAff bn254.G1Affine
+	cAff.FromJacobian(&foldC)
+	qAff.FromJacobian(&foldQ)
+	folded := OpeningProof{Quotient: qAff, ClaimedValue: foldY}
+	return Verify(srs, &cAff, z, &folded)
+}

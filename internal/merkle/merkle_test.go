@@ -1,0 +1,190 @@
+package merkle
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+func leaves(n int) []fr.Element {
+	out := make([]fr.Element, n)
+	for i := range out {
+		out[i] = fr.NewElement(uint64(i*i + 17))
+	}
+	return out
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 20} {
+		tree, err := New(leaves(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			p, err := tree.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if err := Verify(root, leaves(n)[i], p); err != nil {
+				t.Fatalf("n=%d i=%d: valid proof rejected: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty tree built")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tree, err := New(leaves(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Prove(5); err == nil {
+		t.Fatal("out-of-range proof produced (padding leaf)")
+	}
+	if _, err := tree.Prove(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	ls := leaves(8)
+	tree, err := New(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	p, err := tree.Prove(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong leaf.
+	if err := Verify(root, fr.NewElement(9999), p); !errors.Is(err, ErrProofInvalid) {
+		t.Fatal("wrong leaf accepted")
+	}
+	// Wrong index.
+	bad := p
+	bad.Index = 4
+	if err := Verify(root, ls[3], bad); err == nil {
+		t.Fatal("wrong index accepted")
+	}
+	// Corrupted sibling.
+	bad = p
+	bad.Siblings = append([]fr.Element{}, p.Siblings...)
+	bad.Siblings[1] = fr.NewElement(1)
+	if err := Verify(root, ls[3], bad); err == nil {
+		t.Fatal("corrupted sibling accepted")
+	}
+	// Wrong root.
+	if err := Verify(fr.NewElement(1), ls[3], p); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestRootChangesWithLeaf(t *testing.T) {
+	ls := leaves(8)
+	t1, err := New(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls[5] = fr.NewElement(424242)
+	t2, err := New(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := t1.Root(), t2.Root()
+	if r1.Equal(&r2) {
+		t.Fatal("root unchanged after leaf mutation")
+	}
+}
+
+func TestGadgetVerifyMatchesNative(t *testing.T) {
+	ls := leaves(8)
+	tree, err := New(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	for _, idx := range []int{0, 3, 7} {
+		p, err := tree.Prove(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := circuit.NewBuilder()
+		leaf := b.Secret(ls[idx])
+		bits := make([]circuit.Variable, len(p.Siblings))
+		sibs := make([]circuit.Variable, len(p.Siblings))
+		for i := range p.Siblings {
+			bits[i] = b.Secret(fr.NewElement(uint64(p.Index >> i & 1)))
+			sibs[i] = b.Secret(p.Siblings[i])
+		}
+		got := GadgetVerify(b, leaf, bits, sibs)
+		rootPub := b.Public(root)
+		b.AssertEqual(got, rootPub)
+		cs, w, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.IsSatisfied(w); err != nil {
+			t.Fatalf("idx=%d: gadget path unsatisfied: %v", idx, err)
+		}
+	}
+}
+
+func TestGadgetVerifyRejectsWrongPath(t *testing.T) {
+	ls := leaves(4)
+	tree, err := New(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tree.Prove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := circuit.NewBuilder()
+	leaf := b.Secret(fr.NewElement(31337)) // not the real leaf
+	bits := make([]circuit.Variable, len(p.Siblings))
+	sibs := make([]circuit.Variable, len(p.Siblings))
+	for i := range p.Siblings {
+		bits[i] = b.Secret(fr.NewElement(uint64(p.Index >> i & 1)))
+		sibs[i] = b.Secret(p.Siblings[i])
+	}
+	got := GadgetVerify(b, leaf, bits, sibs)
+	rootPub := b.Public(tree.Root())
+	b.AssertEqual(got, rootPub)
+	cs, w, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.IsSatisfied(w); err == nil {
+		t.Fatal("wrong leaf satisfied the circuit")
+	}
+}
+
+func TestQuickMembership(t *testing.T) {
+	ls := leaves(16)
+	tree, err := New(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	prop := func(i uint8) bool {
+		idx := int(i) % 16
+		p, err := tree.Prove(idx)
+		if err != nil {
+			return false
+		}
+		return Verify(root, ls[idx], p) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

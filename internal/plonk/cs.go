@@ -1,0 +1,134 @@
+// Package plonk implements the Plonk zkSNARK (Gabizon–Williamson–Ciobotaru,
+// "PLONK: Permutations over Lagrange-bases for Oecumenical Noninteractive
+// arguments of Knowledge") over BN254 with KZG commitments — the proof
+// system ZKDET uses for every π_e, π_t, π_p and π_k.
+//
+// The implementation follows the paper's five-round protocol with one
+// deliberate simplification: instead of the linearization polynomial, the
+// prover opens every committed polynomial at the evaluation challenge ζ and
+// the verifier checks the quotient identity directly in the field
+// ("evaluate-everything" Plonk). The proof still contains exactly 9 G1
+// points — [a], [b], [c], [z], [t_lo], [t_mid], [t_hi], [W_ζ], [W_ζω] —
+// and verification still costs 2 pairings, matching the paper's §VI-B3
+// accounting; only the count of (cheap) field evaluations in the proof
+// grows.
+package plonk
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Common errors returned by this package.
+var (
+	ErrUnsatisfied   = errors.New("plonk: constraint system not satisfied")
+	ErrProofInvalid  = errors.New("plonk: proof verification failed")
+	ErrWrongPublic   = errors.New("plonk: wrong number of public inputs")
+	ErrSRSTooSmall   = errors.New("plonk: SRS too small for circuit")
+	ErrEmptyCircuit  = errors.New("plonk: circuit has no variables")
+	ErrWitnessLength = errors.New("plonk: witness length mismatch")
+)
+
+// Gate is one Plonk gate: the constraint
+//
+//	qL·a + qR·b + qO·c + qM·a·b + qC + PI = 0
+//
+// where a, b, c are the values of the three wired variables and PI is the
+// public-input polynomial (non-zero only on the first NbPublic rows).
+type Gate struct {
+	QL, QR, QO, QM, QC fr.Element
+	// A, B, C are variable indices wired into this gate's three slots.
+	A, B, C int
+}
+
+// ConstraintSystem is a gate list plus wiring. Variables are dense integer
+// indices; the first NbPublic variables are the public inputs, and the
+// system's first NbPublic gates expose them (a-wire = input, qL = 1).
+type ConstraintSystem struct {
+	nbPublic    int
+	nbVariables int
+	gates       []Gate
+}
+
+// NewConstraintSystem creates a system with nbPublic public-input
+// variables (variables 0 … nbPublic-1) and their exposure gates.
+func NewConstraintSystem(nbPublic int) *ConstraintSystem {
+	cs := &ConstraintSystem{nbPublic: nbPublic, nbVariables: nbPublic}
+	for i := 0; i < nbPublic; i++ {
+		cs.gates = append(cs.gates, Gate{QL: fr.One(), A: i, B: i, C: i})
+	}
+	return cs
+}
+
+// NbPublic returns the number of public-input variables.
+func (cs *ConstraintSystem) NbPublic() int { return cs.nbPublic }
+
+// NbVariables returns the total number of variables.
+func (cs *ConstraintSystem) NbVariables() int { return cs.nbVariables }
+
+// NbGates returns the number of gates (including public-input gates).
+func (cs *ConstraintSystem) NbGates() int { return len(cs.gates) }
+
+// NbConstraints is an alias for NbGates, the paper's "number of
+// constraints" metric.
+func (cs *ConstraintSystem) NbConstraints() int { return len(cs.gates) }
+
+// NewVariable allocates a fresh variable index.
+func (cs *ConstraintSystem) NewVariable() int {
+	v := cs.nbVariables
+	cs.nbVariables++
+	return v
+}
+
+// AddGate appends a gate. Wire indices must reference existing variables.
+func (cs *ConstraintSystem) AddGate(g Gate) error {
+	for _, w := range []int{g.A, g.B, g.C} {
+		if w < 0 || w >= cs.nbVariables {
+			return fmt.Errorf("plonk: gate references unknown variable %d (have %d)", w, cs.nbVariables)
+		}
+	}
+	cs.gates = append(cs.gates, g)
+	return nil
+}
+
+// MustAddGate is AddGate for programmatically-generated gates; it panics on
+// wiring errors, which are always construction bugs.
+func (cs *ConstraintSystem) MustAddGate(g Gate) {
+	if err := cs.AddGate(g); err != nil {
+		panic(err)
+	}
+}
+
+// IsSatisfied checks every gate against the witness directly (no crypto).
+// The witness must assign all variables; its first NbPublic entries are the
+// public inputs. This is the reference semantics the SNARK must agree with,
+// and the first thing to reach for when a proof unexpectedly fails.
+func (cs *ConstraintSystem) IsSatisfied(witness []fr.Element) error {
+	if len(witness) != cs.nbVariables {
+		return fmt.Errorf("%w: got %d, want %d", ErrWitnessLength, len(witness), cs.nbVariables)
+	}
+	for i, g := range cs.gates {
+		a, b, c := witness[g.A], witness[g.B], witness[g.C]
+		var acc, t fr.Element
+		t.Mul(&g.QL, &a)
+		acc.Add(&acc, &t)
+		t.Mul(&g.QR, &b)
+		acc.Add(&acc, &t)
+		t.Mul(&g.QO, &c)
+		acc.Add(&acc, &t)
+		t.Mul(&a, &b)
+		t.Mul(&t, &g.QM)
+		acc.Add(&acc, &t)
+		acc.Add(&acc, &g.QC)
+		if i < cs.nbPublic {
+			// PI(ω^i) = -x_i.
+			acc.Sub(&acc, &witness[i])
+		}
+		if !acc.IsZero() {
+			return fmt.Errorf("%w: gate %d", ErrUnsatisfied, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package plonk
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/poly"
+)
+
+// Coset multipliers for the permutation argument. k1 and k2 must place
+// k1·H and k2·H in cosets disjoint from H and from each other; 5 (the
+// field's multiplicative generator, whose order has large odd factors) and
+// 5² satisfy this for every power-of-two H.
+const (
+	permK1 = 5
+	permK2 = 25
+)
+
+// ProvingKey holds everything the prover needs: the preprocessed selector
+// and permutation polynomials (coefficient form), the evaluation domain,
+// and the SRS.
+type ProvingKey struct {
+	Domain *poly.Domain
+	SRS    *kzg.SRS
+
+	// Selector polynomials qL, qR, qO, qM, qC in coefficient form.
+	QL, QR, QO, QM, QC poly.Polynomial
+	// Permutation polynomials sσ1, sσ2, sσ3 in coefficient form.
+	S1, S2, S3 poly.Polynomial
+
+	// sigma maps each of the 3n wire slots to its permuted slot's field
+	// label; used when building the grand-product polynomial z.
+	sigmaLabel [][3]fr.Element // per-row labels for the three wires
+
+	// Gate wiring and counts, retained to evaluate witnesses.
+	gates    []Gate
+	nbPublic int
+	nbVars   int
+
+	VK *VerifyingKey
+}
+
+// VerifyingKey is the succinct public key: one commitment per preprocessed
+// polynomial plus the domain description.
+type VerifyingKey struct {
+	N        uint64
+	NbPublic int
+
+	QL, QR, QO, QM, QC kzg.Commitment
+	S1, S2, S3         kzg.Commitment
+
+	// G2 points of the SRS needed for pairing checks.
+	G2 [2]bn254.G2Affine
+
+	// K1, K2 are the permutation coset multipliers.
+	K1, K2 fr.Element
+}
+
+// Setup preprocesses a constraint system against an SRS, producing the
+// proving and verifying keys. This is circuit-specific but one-time; the
+// universal SRS is reused across circuits (Plonk's "universal setup").
+func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, error) {
+	if cs.nbVariables == 0 {
+		return nil, nil, ErrEmptyCircuit
+	}
+	n := uint64(8)
+	for n < uint64(len(cs.gates)) {
+		n <<= 1
+	}
+	domain, err := poly.NewDomain(n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plonk: %w", err)
+	}
+	if srs.MaxDegree() < int(n)+8 {
+		return nil, nil, fmt.Errorf("%w: srs supports degree %d, circuit needs %d",
+			ErrSRSTooSmall, srs.MaxDegree(), n+8)
+	}
+
+	// Selector evaluation vectors over the domain (zero-padded rows are
+	// no-op gates).
+	qL := make([]fr.Element, n)
+	qR := make([]fr.Element, n)
+	qO := make([]fr.Element, n)
+	qM := make([]fr.Element, n)
+	qC := make([]fr.Element, n)
+	for i, g := range cs.gates {
+		qL[i], qR[i], qO[i], qM[i], qC[i] = g.QL, g.QR, g.QO, g.QM, g.QC
+	}
+
+	// Copy-constraint permutation over 3n slots. Slots sharing a variable
+	// form one cycle; σ advances each slot to the next in its cycle.
+	slotsPerVar := make([][]int, cs.nbVariables)
+	varAt := func(slot int) int {
+		wire, row := slot/int(n), slot%int(n)
+		var g Gate
+		if row < len(cs.gates) {
+			g = cs.gates[row]
+		} // padding rows wire all slots to variable 0
+		switch wire {
+		case 0:
+			return g.A
+		case 1:
+			return g.B
+		default:
+			return g.C
+		}
+	}
+	totalSlots := 3 * int(n)
+	for s := 0; s < totalSlots; s++ {
+		v := varAt(s)
+		slotsPerVar[v] = append(slotsPerVar[v], s)
+	}
+	sigma := make([]int, totalSlots)
+	for _, slots := range slotsPerVar {
+		for i, s := range slots {
+			sigma[s] = slots[(i+1)%len(slots)]
+		}
+	}
+
+	// Field labels: slot s in wire column w, row r ↦ k_w · ω^r with
+	// k_0 = 1, k_1 = permK1, k_2 = permK2.
+	omega := domain.Elements()
+	k1 := fr.NewElement(permK1)
+	k2 := fr.NewElement(permK2)
+	label := func(slot int) fr.Element {
+		wire, row := slot/int(n), slot%int(n)
+		l := omega[row]
+		switch wire {
+		case 1:
+			l.Mul(&l, &k1)
+		case 2:
+			l.Mul(&l, &k2)
+		}
+		return l
+	}
+	s1 := make([]fr.Element, n)
+	s2 := make([]fr.Element, n)
+	s3 := make([]fr.Element, n)
+	sigmaLabel := make([][3]fr.Element, n)
+	for r := 0; r < int(n); r++ {
+		s1[r] = label(sigma[r])
+		s2[r] = label(sigma[int(n)+r])
+		s3[r] = label(sigma[2*int(n)+r])
+		sigmaLabel[r] = [3]fr.Element{s1[r], s2[r], s3[r]}
+	}
+
+	// Interpolate everything to coefficient form.
+	toPoly := func(evals []fr.Element) poly.Polynomial {
+		c := make([]fr.Element, n)
+		copy(c, evals)
+		domain.IFFT(c)
+		return c
+	}
+	pk := &ProvingKey{
+		Domain:     domain,
+		SRS:        srs,
+		QL:         toPoly(qL),
+		QR:         toPoly(qR),
+		QO:         toPoly(qO),
+		QM:         toPoly(qM),
+		QC:         toPoly(qC),
+		S1:         toPoly(s1),
+		S2:         toPoly(s2),
+		S3:         toPoly(s3),
+		sigmaLabel: sigmaLabel,
+		gates:      append([]Gate(nil), cs.gates...),
+		nbPublic:   cs.nbPublic,
+		nbVars:     cs.nbVariables,
+	}
+
+	vk := &VerifyingKey{
+		N:        n,
+		NbPublic: cs.nbPublic,
+		G2:       srs.G2,
+		K1:       k1,
+		K2:       k2,
+	}
+	commit := func(p poly.Polynomial) (kzg.Commitment, error) { return kzg.Commit(srs, p) }
+	if vk.QL, err = commit(pk.QL); err != nil {
+		return nil, nil, err
+	}
+	if vk.QR, err = commit(pk.QR); err != nil {
+		return nil, nil, err
+	}
+	if vk.QO, err = commit(pk.QO); err != nil {
+		return nil, nil, err
+	}
+	if vk.QM, err = commit(pk.QM); err != nil {
+		return nil, nil, err
+	}
+	if vk.QC, err = commit(pk.QC); err != nil {
+		return nil, nil, err
+	}
+	if vk.S1, err = commit(pk.S1); err != nil {
+		return nil, nil, err
+	}
+	if vk.S2, err = commit(pk.S2); err != nil {
+		return nil, nil, err
+	}
+	if vk.S3, err = commit(pk.S3); err != nil {
+		return nil, nil, err
+	}
+	pk.VK = vk
+	return pk, vk, nil
+}

@@ -1,0 +1,393 @@
+package plonk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+)
+
+// Shared SRS for all tests: big enough for every test circuit.
+var testSRSOnce = sync.OnceValue(func() *kzg.SRS {
+	tau := fr.NewElement(0x5eed)
+	srs, err := kzg.NewSRSFromSecret(1<<11, &tau)
+	if err != nil {
+		panic(err)
+	}
+	return srs
+})
+
+func neg(v uint64) fr.Element {
+	e := fr.NewElement(v)
+	var out fr.Element
+	out.Neg(&e)
+	return out
+}
+
+// buildMulAddCircuit proves knowledge of x, y with x·y = pub0, x+y = pub1.
+func buildMulAddCircuit() (*ConstraintSystem, []fr.Element) {
+	cs := NewConstraintSystem(2)
+	x := cs.NewVariable()
+	y := cs.NewVariable()
+	minusOne := neg(1)
+	// x·y - pub0 = 0
+	cs.MustAddGate(Gate{QM: fr.One(), QO: minusOne, A: x, B: y, C: 0})
+	// x + y - pub1 = 0
+	cs.MustAddGate(Gate{QL: fr.One(), QR: fr.One(), QO: minusOne, A: x, B: y, C: 1})
+	witness := []fr.Element{fr.NewElement(35), fr.NewElement(12), fr.NewElement(5), fr.NewElement(7)}
+	return cs, witness
+}
+
+// buildPowerCircuit proves pub0 = x^(2^k) for secret x, chaining squarings.
+func buildPowerCircuit(k int) (*ConstraintSystem, []fr.Element) {
+	cs := NewConstraintSystem(1)
+	x := cs.NewVariable()
+	val := fr.NewElement(3)
+	witness := []fr.Element{fr.Zero(), val}
+	cur := x
+	curVal := val
+	minusOne := neg(1)
+	for i := 0; i < k; i++ {
+		sq := cs.NewVariable()
+		var sqVal fr.Element
+		sqVal.Square(&curVal)
+		witness = append(witness, sqVal)
+		cs.MustAddGate(Gate{QM: fr.One(), QO: minusOne, A: cur, B: cur, C: sq})
+		cur, curVal = sq, sqVal
+	}
+	// Final value equals the public input.
+	cs.MustAddGate(Gate{QL: fr.One(), QO: minusOne, A: cur, B: cur, C: 0})
+	witness[0] = curVal
+	return cs, witness
+}
+
+func TestIsSatisfied(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatalf("honest witness rejected: %v", err)
+	}
+	bad := append([]fr.Element{}, witness...)
+	bad[2] = fr.NewElement(4) // x=4, y=7: 28 != 35
+	if err := cs.IsSatisfied(bad); err == nil {
+		t.Fatal("bad witness accepted")
+	}
+	if err := cs.IsSatisfied(witness[:2]); !errors.Is(err, ErrWitnessLength) {
+		t.Fatalf("want ErrWitnessLength, got %v", err)
+	}
+}
+
+func TestAddGateValidation(t *testing.T) {
+	cs := NewConstraintSystem(0)
+	if err := cs.AddGate(Gate{A: 5}); err == nil {
+		t.Fatal("gate with unknown variable accepted")
+	}
+	v := cs.NewVariable()
+	if err := cs.AddGate(Gate{A: v, B: v, C: v}); err != nil {
+		t.Fatalf("valid gate rejected: %v", err)
+	}
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, witness[:2]); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongPublicInputs(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := []fr.Element{fr.NewElement(36), fr.NewElement(12)}
+	if err := Verify(vk, proof, wrong); err == nil {
+		t.Fatal("proof accepted with wrong public inputs")
+	}
+	if err := Verify(vk, proof, witness[:1]); !errors.Is(err, ErrWrongPublic) {
+		t.Fatalf("want ErrWrongPublic, got %v", err)
+	}
+}
+
+func TestProveRejectsUnsatisfiedWitness(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, _, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]fr.Element{}, witness...)
+	bad[3] = fr.NewElement(8) // x+y = 13 != 12
+	if _, err := Prove(pk, bad); !errors.Is(err, ErrUnsatisfied) {
+		t.Fatalf("want ErrUnsatisfied, got %v", err)
+	}
+}
+
+// TestVerifyRejectsEveryCorruption mutates each component of the proof in
+// turn; the verifier must reject all of them.
+func TestVerifyRejectsEveryCorruption(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := witness[:2]
+
+	corruptions := map[string]func(p *Proof){
+		"A":      func(p *Proof) { p.A = p.B },
+		"B":      func(p *Proof) { p.B = p.C },
+		"C":      func(p *Proof) { p.C = p.Z },
+		"Z":      func(p *Proof) { p.Z = p.A },
+		"TLo":    func(p *Proof) { p.TLo = p.THi },
+		"TMid":   func(p *Proof) { p.TMid = p.TLo },
+		"THi":    func(p *Proof) { p.THi = p.TMid },
+		"WZeta":  func(p *Proof) { p.WZeta = p.WZetaOmega },
+		"WOmega": func(p *Proof) { p.WZetaOmega = p.WZeta },
+		"evalA":  func(p *Proof) { p.Evals.A.Add(&p.Evals.A, &[]fr.Element{fr.One()}[0]) },
+		"evalZ":  func(p *Proof) { p.Evals.Z.Add(&p.Evals.Z, &[]fr.Element{fr.One()}[0]) },
+		"evalS1": func(p *Proof) { p.Evals.S1.Add(&p.Evals.S1, &[]fr.Element{fr.One()}[0]) },
+		"evalQM": func(p *Proof) { p.Evals.QM.Add(&p.Evals.QM, &[]fr.Element{fr.One()}[0]) },
+		"evalT":  func(p *Proof) { p.Evals.TLo.Add(&p.Evals.TLo, &[]fr.Element{fr.One()}[0]) },
+		"zomega": func(p *Proof) { p.Evals.ZOmega.Add(&p.Evals.ZOmega, &[]fr.Element{fr.One()}[0]) },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			bad := *proof
+			corrupt(&bad)
+			if err := Verify(vk, &bad, public); err == nil {
+				t.Fatalf("corrupted %s accepted", name)
+			}
+		})
+	}
+}
+
+func TestLargerCircuit(t *testing.T) {
+	cs, witness := buildPowerCircuit(200)
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatalf("power circuit witness: %v", err)
+	}
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, witness[:1]); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+// TestCopyConstraints checks that the permutation argument actually binds
+// shared variables: a witness satisfying each gate locally but breaking the
+// wiring must not produce a valid proof.
+func TestCopyConstraints(t *testing.T) {
+	// Gates: v2 = v1², v3 = v2² with v2 shared. A prover using different
+	// values for v2's two occurrences would need to break the permutation.
+	cs := NewConstraintSystem(1)
+	v1 := cs.NewVariable()
+	v2 := cs.NewVariable()
+	v3 := cs.NewVariable()
+	minusOne := neg(1)
+	cs.MustAddGate(Gate{QM: fr.One(), QO: minusOne, A: v1, B: v1, C: v2})
+	cs.MustAddGate(Gate{QM: fr.One(), QO: minusOne, A: v2, B: v2, C: v3})
+	cs.MustAddGate(Gate{QL: fr.One(), QO: minusOne, A: v3, B: v3, C: 0})
+
+	// Honest: v1=2, v2=4, v3=16, public=16.
+	honest := []fr.Element{fr.NewElement(16), fr.NewElement(2), fr.NewElement(4), fr.NewElement(16)}
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, honest[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Any witness claiming public=17 must fail at proving time (there is
+	// no consistent assignment).
+	bad := []fr.Element{fr.NewElement(17), fr.NewElement(2), fr.NewElement(4), fr.NewElement(16)}
+	if _, err := Prove(pk, bad); !errors.Is(err, ErrUnsatisfied) {
+		t.Fatalf("want ErrUnsatisfied, got %v", err)
+	}
+}
+
+func TestProofSizeConstant(t *testing.T) {
+	// Paper §VI-B3: proof length is independent of the relation.
+	sizes := map[string]int{}
+	for _, k := range []int{4, 64, 400} {
+		cs, witness := buildPowerCircuit(k)
+		pk, vk, err := Setup(cs, testSRSOnce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := Prove(pk, witness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(vk, proof, witness[:1]); err != nil {
+			t.Fatal(err)
+		}
+		sizes[itoa(k)] = len(proof.Bytes())
+	}
+	want := ProofSize
+	for k, s := range sizes {
+		if s != want {
+			t.Fatalf("k=%s: proof size %d != %d", k, s, want)
+		}
+	}
+}
+
+func TestProofSerializationRoundTrip(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := proof.Bytes()
+	back, err := ProofFromBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, back, witness[:2]); err != nil {
+		t.Fatalf("deserialized proof rejected: %v", err)
+	}
+	// Corruptions must be caught at decode or verify time.
+	data[3] ^= 0x5a
+	if back, err := ProofFromBytes(data); err == nil {
+		if err := Verify(vk, back, witness[:2]); err == nil {
+			t.Fatal("corrupted serialized proof accepted")
+		}
+	}
+	if _, err := ProofFromBytes(data[:100]); err == nil {
+		t.Fatal("short proof accepted")
+	}
+}
+
+// TestZeroKnowledgeBlinding: two proofs of the same statement must differ
+// (blinding randomness), yet both verify.
+func TestZeroKnowledgeBlinding(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.A.Equal(&p2.A) {
+		t.Fatal("wire commitments identical across proofs: no blinding")
+	}
+	if err := Verify(vk, p1, witness[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, p2, witness[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	empty := &ConstraintSystem{}
+	if _, _, err := Setup(empty, testSRSOnce()); !errors.Is(err, ErrEmptyCircuit) {
+		t.Fatalf("want ErrEmptyCircuit, got %v", err)
+	}
+	// SRS too small.
+	tau := fr.NewElement(3)
+	small, err := kzg.NewSRSFromSecret(4, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := buildMulAddCircuit()
+	if _, _, err := Setup(cs, small); !errors.Is(err, ErrSRSTooSmall) {
+		t.Fatalf("want ErrSRSTooSmall, got %v", err)
+	}
+}
+
+func TestProveWitnessLength(t *testing.T) {
+	cs, witness := buildMulAddCircuit()
+	pk, _, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prove(pk, witness[:3]); !errors.Is(err, ErrWitnessLength) {
+		t.Fatalf("want ErrWitnessLength, got %v", err)
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	for _, k := range []int{100, 1000} {
+		cs, witness := buildPowerCircuit(k)
+		pk, _, err := Setup(cs, testSRSOnce())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Prove(pk, witness); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	cs, witness := buildPowerCircuit(1000)
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(vk, proof, witness[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

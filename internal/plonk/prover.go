@@ -1,0 +1,416 @@
+package plonk
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/poly"
+	"github.com/zkdet/zkdet/internal/transcript"
+)
+
+// commitParallel runs independent KZG commitments concurrently, writing
+// each result through its output pointer.
+func commitParallel(pk *ProvingKey, ps []poly.Polynomial, outs []*kzg.Commitment) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(ps))
+	for i := range ps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := kzg.Commit(pk.SRS, ps[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			*outs[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Proof is a Plonk proof: 9 G1 points and the openings of every committed
+// polynomial at the challenge ζ (plus z at ζω). Its size is independent of
+// the circuit.
+type Proof struct {
+	A, B, C           kzg.Commitment
+	Z                 kzg.Commitment
+	TLo, TMid, THi    kzg.Commitment
+	WZeta, WZetaOmega kzg.Commitment
+	Evals             ProofEvals
+}
+
+// ProofEvals carries the claimed polynomial evaluations at ζ (and z at ζω).
+type ProofEvals struct {
+	A, B, C, Z, ZOmega fr.Element
+	QL, QR, QO, QM, QC fr.Element
+	S1, S2, S3         fr.Element
+	TLo, TMid, THi     fr.Element
+}
+
+// evalList returns the evaluations at ζ in the canonical folding order used
+// by both prover and verifier for the batched KZG opening.
+func (e *ProofEvals) evalList() []fr.Element {
+	return []fr.Element{
+		e.A, e.B, e.C, e.Z,
+		e.QL, e.QR, e.QO, e.QM, e.QC,
+		e.S1, e.S2, e.S3,
+		e.TLo, e.TMid, e.THi,
+	}
+}
+
+// bindTranscript absorbs the verifying key and public inputs so challenges
+// are bound to the exact statement being proved.
+func bindTranscript(t *transcript.Transcript, vk *VerifyingKey, public []fr.Element) {
+	n := fr.NewElement(vk.N)
+	t.AppendScalar("domain-size", &n)
+	np := fr.NewElement(uint64(vk.NbPublic))
+	t.AppendScalar("nb-public", &np)
+	for _, c := range []kzg.Commitment{vk.QL, vk.QR, vk.QO, vk.QM, vk.QC, vk.S1, vk.S2, vk.S3} {
+		cc := c
+		t.AppendPoint("vk", &cc)
+	}
+	t.AppendScalars("public-inputs", public)
+}
+
+// Prove produces a proof that the witness satisfies the preprocessed
+// circuit. The witness assigns every variable; its first NbPublic entries
+// must equal the public inputs passed to Verify.
+func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
+	if len(witness) != pk.nbVars {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrWitnessLength, len(witness), pk.nbVars)
+	}
+	n := pk.Domain.N
+	nInt := int(n)
+	public := make([]fr.Element, pk.nbPublic)
+	copy(public, witness[:pk.nbPublic])
+
+	// Wire value vectors over the domain rows.
+	aV := make([]fr.Element, n)
+	bV := make([]fr.Element, n)
+	cV := make([]fr.Element, n)
+	for i := 0; i < nInt; i++ {
+		var g Gate // padding rows wire to variable 0 with all selectors zero
+		if i < len(pk.gates) {
+			g = pk.gates[i]
+		}
+		aV[i] = witness[g.A]
+		bV[i] = witness[g.B]
+		cV[i] = witness[g.C]
+	}
+
+	// Public-input polynomial: PI(ω^i) = -x_i.
+	piEvals := make([]fr.Element, n)
+	for i := range public {
+		piEvals[i].Neg(&public[i])
+	}
+	piPoly := make(poly.Polynomial, n)
+	copy(piPoly, piEvals)
+	pk.Domain.IFFT(piPoly)
+
+	// Round 1: blinded wire polynomials and their commitments.
+	blindWire := func(evals []fr.Element) poly.Polynomial {
+		p := make(poly.Polynomial, n+2)
+		copy(p, evals)
+		pk.Domain.IFFT(p[:n])
+		b1, b2 := fr.MustRandom(), fr.MustRandom()
+		// + (b1 + b2·X)·(X^n - 1)
+		p[0].Sub(&p[0], &b1)
+		p[1].Sub(&p[1], &b2)
+		p[n].Add(&p[n], &b1)
+		p[n+1].Add(&p[n+1], &b2)
+		return p
+	}
+	aPoly := blindWire(aV)
+	bPoly := blindWire(bV)
+	cPoly := blindWire(cV)
+
+	commit := func(p poly.Polynomial) (kzg.Commitment, error) { return kzg.Commit(pk.SRS, p) }
+	proof := &Proof{}
+	var err error
+	// The three wire commitments are independent MSMs; run them in
+	// parallel (the prover's dominant cost).
+	if err = commitParallel(pk,
+		[]poly.Polynomial{aPoly, bPoly, cPoly},
+		[]*kzg.Commitment{&proof.A, &proof.B, &proof.C}); err != nil {
+		return nil, err
+	}
+
+	tr := transcript.New("zkdet/plonk")
+	bindTranscript(tr, pk.VK, public)
+	tr.AppendPoint("a", &proof.A)
+	tr.AppendPoint("b", &proof.B)
+	tr.AppendPoint("c", &proof.C)
+	beta := tr.ChallengeScalar("beta")
+	gamma := tr.ChallengeScalar("gamma")
+
+	// Round 2: grand-product polynomial z.
+	omega := pk.Domain.Elements()
+	k1 := fr.NewElement(permK1)
+	k2 := fr.NewElement(permK2)
+	nums := make([]fr.Element, n)
+	dens := make([]fr.Element, n)
+	for i := 0; i < nInt; i++ {
+		var f1, f2, f3, t fr.Element
+		// (a + β·ω^i + γ)(b + β·k1·ω^i + γ)(c + β·k2·ω^i + γ)
+		f1.Mul(&beta, &omega[i])
+		f1.Add(&f1, &aV[i])
+		f1.Add(&f1, &gamma)
+		t.Mul(&beta, &omega[i])
+		t.Mul(&t, &k1)
+		f2.Add(&bV[i], &t)
+		f2.Add(&f2, &gamma)
+		t.Mul(&beta, &omega[i])
+		t.Mul(&t, &k2)
+		f3.Add(&cV[i], &t)
+		f3.Add(&f3, &gamma)
+		nums[i].Mul(&f1, &f2)
+		nums[i].Mul(&nums[i], &f3)
+
+		// (a + β·sσ1 + γ)(b + β·sσ2 + γ)(c + β·sσ3 + γ)
+		lbl := pk.sigmaLabel[i]
+		t.Mul(&beta, &lbl[0])
+		f1.Add(&aV[i], &t)
+		f1.Add(&f1, &gamma)
+		t.Mul(&beta, &lbl[1])
+		f2.Add(&bV[i], &t)
+		f2.Add(&f2, &gamma)
+		t.Mul(&beta, &lbl[2])
+		f3.Add(&cV[i], &t)
+		f3.Add(&f3, &gamma)
+		dens[i].Mul(&f1, &f2)
+		dens[i].Mul(&dens[i], &f3)
+	}
+	fr.BatchInvert(dens)
+	zV := make([]fr.Element, n)
+	zV[0] = fr.One()
+	for i := 0; i < nInt-1; i++ {
+		var step fr.Element
+		step.Mul(&nums[i], &dens[i])
+		zV[i+1].Mul(&zV[i], &step)
+	}
+
+	zPoly := make(poly.Polynomial, n+3)
+	copy(zPoly, zV)
+	pk.Domain.IFFT(zPoly[:n])
+	zb1, zb2, zb3 := fr.MustRandom(), fr.MustRandom(), fr.MustRandom()
+	zPoly[0].Sub(&zPoly[0], &zb1)
+	zPoly[1].Sub(&zPoly[1], &zb2)
+	zPoly[2].Sub(&zPoly[2], &zb3)
+	zPoly[n].Add(&zPoly[n], &zb1)
+	zPoly[n+1].Add(&zPoly[n+1], &zb2)
+	zPoly[n+2].Add(&zPoly[n+2], &zb3)
+
+	if proof.Z, err = commit(zPoly); err != nil {
+		return nil, err
+	}
+	tr.AppendPoint("z", &proof.Z)
+	alpha := tr.ChallengeScalar("alpha")
+
+	// Round 3: quotient polynomial t over the 4n coset.
+	big := 4 * n
+	domain4, err := poly.NewDomain(big)
+	if err != nil {
+		return nil, fmt.Errorf("plonk: %w", err)
+	}
+	// The 13 coset evaluations are independent FFTs; run them with a
+	// bounded worker pool.
+	cosetInputs := []poly.Polynomial{
+		aPoly, bPoly, cPoly, zPoly,
+		pk.QL, pk.QR, pk.QO, pk.QM, pk.QC,
+		pk.S1, pk.S2, pk.S3, piPoly,
+	}
+	cosetOutputs := make([][]fr.Element, len(cosetInputs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range cosetInputs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e := make([]fr.Element, big)
+			copy(e, cosetInputs[i])
+			domain4.FFTCoset(e)
+			cosetOutputs[i] = e
+		}(i)
+	}
+	wg.Wait()
+	aE, bE, cE, zE := cosetOutputs[0], cosetOutputs[1], cosetOutputs[2], cosetOutputs[3]
+	qlE, qrE, qoE, qmE, qcE := cosetOutputs[4], cosetOutputs[5], cosetOutputs[6], cosetOutputs[7], cosetOutputs[8]
+	s1E, s2E, s3E, piE := cosetOutputs[9], cosetOutputs[10], cosetOutputs[11], cosetOutputs[12]
+
+	// Coset points x_i = g·ω₄ⁱ, their Z_H values (period 4) and L1 values.
+	xs := make([]fr.Element, big)
+	shift := fr.NewElement(fr.MultiplicativeGenerator)
+	xs[0] = shift
+	for i := uint64(1); i < big; i++ {
+		xs[i].Mul(&xs[i-1], &domain4.Gen)
+	}
+	var gN fr.Element
+	gN.ExpUint64(&shift, n)
+	w4n := domain4.Element(n) // primitive 4th root of unity
+	one := fr.One()
+	zh := make([]fr.Element, 4)
+	cur := gN
+	for i := 0; i < 4; i++ {
+		zh[i].Sub(&cur, &one)
+		cur.Mul(&cur, &w4n)
+	}
+	zhInv := make([]fr.Element, 4)
+	copy(zhInv, zh)
+	fr.BatchInvert(zhInv)
+	// L1(x) = Z_H(x) / (n·(x-1)).
+	l1Den := make([]fr.Element, big)
+	nEl := fr.NewElement(n)
+	for i := range l1Den {
+		l1Den[i].Sub(&xs[i], &one)
+		l1Den[i].Mul(&l1Den[i], &nEl)
+	}
+	fr.BatchInvert(l1Den)
+
+	tEvals := make([]fr.Element, big)
+	for i := uint64(0); i < big; i++ {
+		var gate, t1, t2 fr.Element
+		// Gate constraint.
+		t1.Mul(&qmE[i], &aE[i])
+		t1.Mul(&t1, &bE[i])
+		gate.Add(&gate, &t1)
+		t1.Mul(&qlE[i], &aE[i])
+		gate.Add(&gate, &t1)
+		t1.Mul(&qrE[i], &bE[i])
+		gate.Add(&gate, &t1)
+		t1.Mul(&qoE[i], &cE[i])
+		gate.Add(&gate, &t1)
+		gate.Add(&gate, &qcE[i])
+		gate.Add(&gate, &piE[i])
+
+		// Permutation constraint.
+		var p1, p2, f fr.Element
+		t1.Mul(&beta, &xs[i])
+		f.Add(&aE[i], &t1)
+		f.Add(&f, &gamma)
+		p1 = f
+		t1.Mul(&beta, &xs[i])
+		t1.Mul(&t1, &k1)
+		f.Add(&bE[i], &t1)
+		f.Add(&f, &gamma)
+		p1.Mul(&p1, &f)
+		t1.Mul(&beta, &xs[i])
+		t1.Mul(&t1, &k2)
+		f.Add(&cE[i], &t1)
+		f.Add(&f, &gamma)
+		p1.Mul(&p1, &f)
+		p1.Mul(&p1, &zE[i])
+
+		t1.Mul(&beta, &s1E[i])
+		f.Add(&aE[i], &t1)
+		f.Add(&f, &gamma)
+		p2 = f
+		t1.Mul(&beta, &s2E[i])
+		f.Add(&bE[i], &t1)
+		f.Add(&f, &gamma)
+		p2.Mul(&p2, &f)
+		t1.Mul(&beta, &s3E[i])
+		f.Add(&cE[i], &t1)
+		f.Add(&f, &gamma)
+		p2.Mul(&p2, &f)
+		zOmegaI := zE[(i+4)%big]
+		p2.Mul(&p2, &zOmegaI)
+
+		var perm fr.Element
+		perm.Sub(&p1, &p2)
+		perm.Mul(&perm, &alpha)
+
+		// L1 boundary constraint: α²·L1(x)·(z(x) - 1).
+		var l1v fr.Element
+		l1v.Mul(&zh[i%4], &l1Den[i])
+		t2.Sub(&zE[i], &one)
+		l1v.Mul(&l1v, &t2)
+		l1v.Mul(&l1v, &alpha)
+		l1v.Mul(&l1v, &alpha)
+
+		var num fr.Element
+		num.Add(&gate, &perm)
+		num.Add(&num, &l1v)
+		tEvals[i].Mul(&num, &zhInv[i%4])
+	}
+	tPoly := make(poly.Polynomial, big)
+	copy(tPoly, tEvals)
+	domain4.IFFTCoset(tPoly)
+
+	// A satisfied circuit yields deg(t) ≤ 3n+5; anything above signals an
+	// unsatisfied witness (the division by Z_H was not exact).
+	for i := 3*n + 6; i < big; i++ {
+		if !tPoly[i].IsZero() {
+			return nil, ErrUnsatisfied
+		}
+	}
+	tLo := poly.Polynomial(tPoly[:n])
+	tMid := poly.Polynomial(tPoly[n : 2*n])
+	tHi := poly.Polynomial(tPoly[2*n : 3*n+6])
+	if err = commitParallel(pk,
+		[]poly.Polynomial{tLo, tMid, tHi},
+		[]*kzg.Commitment{&proof.TLo, &proof.TMid, &proof.THi}); err != nil {
+		return nil, err
+	}
+	tr.AppendPoint("t_lo", &proof.TLo)
+	tr.AppendPoint("t_mid", &proof.TMid)
+	tr.AppendPoint("t_hi", &proof.THi)
+	zeta := tr.ChallengeScalar("zeta")
+
+	// Round 4: evaluations at ζ (and ζω for z).
+	var zetaOmega fr.Element
+	zetaOmega.Mul(&zeta, &pk.Domain.Gen)
+	ev := &proof.Evals
+	ev.A = aPoly.Eval(&zeta)
+	ev.B = bPoly.Eval(&zeta)
+	ev.C = cPoly.Eval(&zeta)
+	ev.Z = zPoly.Eval(&zeta)
+	ev.ZOmega = zPoly.Eval(&zetaOmega)
+	ev.QL = pk.QL.Eval(&zeta)
+	ev.QR = pk.QR.Eval(&zeta)
+	ev.QO = pk.QO.Eval(&zeta)
+	ev.QM = pk.QM.Eval(&zeta)
+	ev.QC = pk.QC.Eval(&zeta)
+	ev.S1 = pk.S1.Eval(&zeta)
+	ev.S2 = pk.S2.Eval(&zeta)
+	ev.S3 = pk.S3.Eval(&zeta)
+	ev.TLo = tLo.Eval(&zeta)
+	ev.TMid = tMid.Eval(&zeta)
+	ev.THi = tHi.Eval(&zeta)
+
+	tr.AppendScalars("evals", ev.evalList())
+	tr.AppendScalar("z_omega", &ev.ZOmega)
+	v := tr.ChallengeScalar("v")
+
+	// Round 5: batched opening at ζ, single opening of z at ζω.
+	folded := poly.Polynomial{}
+	coeff := fr.One()
+	for _, p := range []poly.Polynomial{
+		aPoly, bPoly, cPoly, zPoly,
+		pk.QL, pk.QR, pk.QO, pk.QM, pk.QC,
+		pk.S1, pk.S2, pk.S3,
+		tLo, tMid, tHi,
+	} {
+		folded = poly.Add(folded, poly.MulScalar(p, &coeff))
+		coeff.Mul(&coeff, &v)
+	}
+	wZeta, _ := poly.DivideByLinear(folded, &zeta)
+	if proof.WZeta, err = commit(wZeta); err != nil {
+		return nil, err
+	}
+	wZetaOmega, _ := poly.DivideByLinear(zPoly, &zetaOmega)
+	if proof.WZetaOmega, err = commit(wZetaOmega); err != nil {
+		return nil, err
+	}
+	return proof, nil
+}

@@ -1,0 +1,67 @@
+package plonk
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// ProofSize is the byte length of a serialized proof: 9 uncompressed G1
+// points plus 16 field elements — constant, whatever the circuit size.
+const ProofSize = 9*64 + 16*32
+
+// Bytes serializes the proof into its canonical fixed-size encoding.
+func (p *Proof) Bytes() []byte {
+	out := make([]byte, 0, ProofSize)
+	for _, pt := range []bn254.G1Affine{
+		p.A, p.B, p.C, p.Z, p.TLo, p.TMid, p.THi, p.WZeta, p.WZetaOmega,
+	} {
+		b := pt.Bytes()
+		out = append(out, b[:]...)
+	}
+	evals := p.Evals.evalList()
+	evals = append(evals, p.Evals.ZOmega)
+	for i := range evals {
+		b := evals[i].Bytes()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// ProofFromBytes deserializes a proof, validating that every group element
+// lies on the curve and every scalar is canonical.
+func ProofFromBytes(data []byte) (*Proof, error) {
+	if len(data) != ProofSize {
+		return nil, fmt.Errorf("plonk: proof must be %d bytes, got %d", ProofSize, len(data))
+	}
+	p := &Proof{}
+	pts := []*bn254.G1Affine{
+		&p.A, &p.B, &p.C, &p.Z, &p.TLo, &p.TMid, &p.THi, &p.WZeta, &p.WZetaOmega,
+	}
+	off := 0
+	for _, pt := range pts {
+		decoded, err := bn254.G1FromBytes(data[off : off+64])
+		if err != nil {
+			return nil, fmt.Errorf("plonk: proof point: %w", err)
+		}
+		*pt = decoded
+		off += 64
+	}
+	scalars := []*fr.Element{
+		&p.Evals.A, &p.Evals.B, &p.Evals.C, &p.Evals.Z,
+		&p.Evals.QL, &p.Evals.QR, &p.Evals.QO, &p.Evals.QM, &p.Evals.QC,
+		&p.Evals.S1, &p.Evals.S2, &p.Evals.S3,
+		&p.Evals.TLo, &p.Evals.TMid, &p.Evals.THi,
+		&p.Evals.ZOmega,
+	}
+	for _, s := range scalars {
+		decoded, err := fr.FromBytesCanonical(data[off : off+32])
+		if err != nil {
+			return nil, fmt.Errorf("plonk: proof scalar: %w", err)
+		}
+		*s = decoded
+		off += 32
+	}
+	return p, nil
+}

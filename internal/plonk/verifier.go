@@ -1,0 +1,215 @@
+package plonk
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/poly"
+	"github.com/zkdet/zkdet/internal/transcript"
+)
+
+// Verify checks a proof against the verifying key and public inputs. Its
+// cost is 2 pairings plus a handful of scalar multiplications — independent
+// of the circuit size except for the O(ℓ) public-input Lagrange terms.
+func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
+	if len(public) != vk.NbPublic {
+		return fmt.Errorf("%w: got %d, want %d", ErrWrongPublic, len(public), vk.NbPublic)
+	}
+
+	// Reconstruct the challenges.
+	tr := transcript.New("zkdet/plonk")
+	bindTranscript(tr, vk, public)
+	tr.AppendPoint("a", &proof.A)
+	tr.AppendPoint("b", &proof.B)
+	tr.AppendPoint("c", &proof.C)
+	beta := tr.ChallengeScalar("beta")
+	gamma := tr.ChallengeScalar("gamma")
+	tr.AppendPoint("z", &proof.Z)
+	alpha := tr.ChallengeScalar("alpha")
+	tr.AppendPoint("t_lo", &proof.TLo)
+	tr.AppendPoint("t_mid", &proof.TMid)
+	tr.AppendPoint("t_hi", &proof.THi)
+	zeta := tr.ChallengeScalar("zeta")
+	ev := &proof.Evals
+	tr.AppendScalars("evals", ev.evalList())
+	tr.AppendScalar("z_omega", &ev.ZOmega)
+	v := tr.ChallengeScalar("v")
+	tr.AppendPoint("w_zeta", &proof.WZeta)
+	tr.AppendPoint("w_zeta_omega", &proof.WZetaOmega)
+	u := tr.ChallengeScalar("u")
+
+	domain, err := poly.NewDomain(vk.N)
+	if err != nil {
+		return fmt.Errorf("plonk: %w", err)
+	}
+
+	// Z_H(ζ), L1(ζ) and PI(ζ).
+	one := fr.One()
+	var zetaN fr.Element
+	zetaN.ExpUint64(&zeta, vk.N)
+	var zh fr.Element
+	zh.Sub(&zetaN, &one)
+	if zh.IsZero() {
+		// ζ landed inside the domain (probability ~ N/r): reject rather
+		// than divide by zero.
+		return ErrProofInvalid
+	}
+	var pi fr.Element
+	for i := range public {
+		li := domain.LagrangeEval(uint64(i), &zeta)
+		var t fr.Element
+		t.Mul(&li, &public[i])
+		pi.Sub(&pi, &t)
+	}
+	l1 := domain.LagrangeEval(0, &zeta)
+
+	// Gate constraint value at ζ.
+	var gate, t fr.Element
+	t.Mul(&ev.QM, &ev.A)
+	t.Mul(&t, &ev.B)
+	gate.Add(&gate, &t)
+	t.Mul(&ev.QL, &ev.A)
+	gate.Add(&gate, &t)
+	t.Mul(&ev.QR, &ev.B)
+	gate.Add(&gate, &t)
+	t.Mul(&ev.QO, &ev.C)
+	gate.Add(&gate, &t)
+	gate.Add(&gate, &ev.QC)
+	gate.Add(&gate, &pi)
+
+	// Permutation constraint value at ζ.
+	var p1, p2, f fr.Element
+	t.Mul(&beta, &zeta)
+	f.Add(&ev.A, &t)
+	f.Add(&f, &gamma)
+	p1 = f
+	t.Mul(&beta, &zeta)
+	t.Mul(&t, &vk.K1)
+	f.Add(&ev.B, &t)
+	f.Add(&f, &gamma)
+	p1.Mul(&p1, &f)
+	t.Mul(&beta, &zeta)
+	t.Mul(&t, &vk.K2)
+	f.Add(&ev.C, &t)
+	f.Add(&f, &gamma)
+	p1.Mul(&p1, &f)
+	p1.Mul(&p1, &ev.Z)
+
+	t.Mul(&beta, &ev.S1)
+	f.Add(&ev.A, &t)
+	f.Add(&f, &gamma)
+	p2 = f
+	t.Mul(&beta, &ev.S2)
+	f.Add(&ev.B, &t)
+	f.Add(&f, &gamma)
+	p2.Mul(&p2, &f)
+	t.Mul(&beta, &ev.S3)
+	f.Add(&ev.C, &t)
+	f.Add(&f, &gamma)
+	p2.Mul(&p2, &f)
+	p2.Mul(&p2, &ev.ZOmega)
+
+	var perm fr.Element
+	perm.Sub(&p1, &p2)
+	perm.Mul(&perm, &alpha)
+
+	var l1v fr.Element
+	l1v.Sub(&ev.Z, &one)
+	l1v.Mul(&l1v, &l1)
+	l1v.Mul(&l1v, &alpha)
+	l1v.Mul(&l1v, &alpha)
+
+	var rhs fr.Element
+	rhs.Add(&gate, &perm)
+	rhs.Add(&rhs, &l1v)
+
+	// t(ζ) = t_lo(ζ) + ζ^n·t_mid(ζ) + ζ^{2n}·t_hi(ζ).
+	var tEval, zeta2N fr.Element
+	zeta2N.Square(&zetaN)
+	tEval.Mul(&zetaN, &ev.TMid)
+	tEval.Add(&tEval, &ev.TLo)
+	t.Mul(&zeta2N, &ev.THi)
+	tEval.Add(&tEval, &t)
+
+	var lhs fr.Element
+	lhs.Mul(&tEval, &zh)
+	if !lhs.Equal(&rhs) {
+		return fmt.Errorf("%w: quotient identity", ErrProofInvalid)
+	}
+
+	// Batched KZG check. Fold the ζ-opened commitments and values with v.
+	cms := []kzg.Commitment{
+		proof.A, proof.B, proof.C, proof.Z,
+		vk.QL, vk.QR, vk.QO, vk.QM, vk.QC,
+		vk.S1, vk.S2, vk.S3,
+		proof.TLo, proof.TMid, proof.THi,
+	}
+	evals := ev.evalList()
+	var foldCm bn254.G1Jac
+	foldCm.SetInfinity()
+	foldVal := fr.Zero()
+	coeff := fr.One()
+	for i := range cms {
+		var tj bn254.G1Jac
+		tj.ScalarMul(&cms[i], &coeff)
+		foldCm.AddAssign(&tj)
+		var tv fr.Element
+		tv.Mul(&evals[i], &coeff)
+		foldVal.Add(&foldVal, &tv)
+		coeff.Mul(&coeff, &v)
+	}
+	var fCm bn254.G1Affine
+	fCm.FromJacobian(&foldCm)
+
+	// Combine the two opening checks with u:
+	// e(Fζ + ζ·Wζ + u·(Fζω + ζω·Wζω) - E, G2) · e(-(Wζ + u·Wζω), τG2) == 1
+	// where E = (valζ + u·z̄ω)·G1 and Fζω = [z].
+	g1 := bn254.G1Generator()
+	var zetaOmega fr.Element
+	zetaOmega.Mul(&zeta, &domain.Gen)
+
+	var accJ bn254.G1Jac
+	accJ.SetInfinity()
+	var tj bn254.G1Jac
+	tj.FromAffine(&fCm)
+	accJ.AddAssign(&tj)
+	tj.ScalarMul(&proof.WZeta, &zeta)
+	accJ.AddAssign(&tj)
+	var uZ fr.Element
+	tj.ScalarMul(&proof.Z, &u)
+	accJ.AddAssign(&tj)
+	uZ.Mul(&u, &zetaOmega)
+	tj.ScalarMul(&proof.WZetaOmega, &uZ)
+	accJ.AddAssign(&tj)
+	var eScalar fr.Element
+	eScalar.Mul(&u, &ev.ZOmega)
+	eScalar.Add(&eScalar, &foldVal)
+	eScalar.Neg(&eScalar)
+	tj.ScalarMul(&g1, &eScalar)
+	accJ.AddAssign(&tj)
+	var lhsPoint bn254.G1Affine
+	lhsPoint.FromJacobian(&accJ)
+
+	var wJ bn254.G1Jac
+	wJ.FromAffine(&proof.WZeta)
+	tj.ScalarMul(&proof.WZetaOmega, &u)
+	wJ.AddAssign(&tj)
+	var wSum bn254.G1Affine
+	wSum.FromJacobian(&wJ)
+	var negW bn254.G1Affine
+	negW.Neg(&wSum)
+
+	ok, err := bn254.PairingCheck(
+		[]bn254.G1Affine{lhsPoint, negW},
+		[]bn254.G2Affine{vk.G2[0], vk.G2[1]},
+	)
+	if err != nil {
+		return fmt.Errorf("plonk: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("%w: pairing check", ErrProofInvalid)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package poly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Domain is a multiplicative subgroup of Fr* of power-of-two order, used as
+// an FFT evaluation domain. All Plonk polynomials live on such a domain.
+type Domain struct {
+	// N is the domain size, a power of two.
+	N uint64
+	// Log is log2(N).
+	Log int
+	// Gen is a primitive N-th root of unity ω.
+	Gen fr.Element
+	// GenInv is ω⁻¹.
+	GenInv fr.Element
+	// NInv is N⁻¹ in the field, used by the inverse FFT.
+	NInv fr.Element
+	// CosetShift is the multiplicative generator g used for coset FFTs
+	// (evaluations over g·H instead of H).
+	CosetShift fr.Element
+	// CosetShiftInv is g⁻¹.
+	CosetShiftInv fr.Element
+}
+
+// NewDomain returns the smallest domain of size ≥ n. It errors when n
+// exceeds 2^28 (the two-adicity of the scalar field).
+func NewDomain(n uint64) (*Domain, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("poly: domain size must be positive")
+	}
+	logN := 0
+	size := uint64(1)
+	for size < n {
+		size <<= 1
+		logN++
+	}
+	gen, err := fr.RootOfUnity(logN)
+	if err != nil {
+		return nil, fmt.Errorf("poly: domain of size %d: %w", n, err)
+	}
+	d := &Domain{N: size, Log: logN, Gen: gen}
+	d.GenInv.Inverse(&gen)
+	nEl := fr.NewElement(size)
+	d.NInv.Inverse(&nEl)
+	d.CosetShift = fr.NewElement(fr.MultiplicativeGenerator)
+	d.CosetShiftInv.Inverse(&d.CosetShift)
+	return d, nil
+}
+
+// Element returns ω^i.
+func (d *Domain) Element(i uint64) fr.Element {
+	var out fr.Element
+	out.SetOne()
+	w := d.Gen
+	i %= d.N
+	for ; i > 0; i >>= 1 {
+		if i&1 == 1 {
+			out.Mul(&out, &w)
+		}
+		w.Square(&w)
+	}
+	return out
+}
+
+// Elements returns all N domain elements ω^0 … ω^(N-1) in order.
+func (d *Domain) Elements() []fr.Element {
+	out := make([]fr.Element, d.N)
+	out[0] = fr.One()
+	for i := uint64(1); i < d.N; i++ {
+		out[i].Mul(&out[i-1], &d.Gen)
+	}
+	return out
+}
+
+// VanishingEval returns Z_H(x) = x^N - 1.
+func (d *Domain) VanishingEval(x *fr.Element) fr.Element {
+	var xn fr.Element
+	xn.ExpUint64(x, d.N)
+	one := fr.One()
+	xn.Sub(&xn, &one)
+	return xn
+}
+
+// LagrangeEval returns L_i(x) = ω^i (x^N - 1) / (N (x - ω^i)), the i-th
+// Lagrange basis polynomial of the domain evaluated at a point x ∉ H.
+func (d *Domain) LagrangeEval(i uint64, x *fr.Element) fr.Element {
+	zh := d.VanishingEval(x)
+	wi := d.Element(i)
+	var denom fr.Element
+	denom.Sub(x, &wi)
+	nEl := fr.NewElement(d.N)
+	denom.Mul(&denom, &nEl)
+	denom.Inverse(&denom)
+	var out fr.Element
+	out.Mul(&zh, &wi)
+	out.Mul(&out, &denom)
+	return out
+}
+
+// FFT transforms coefficients to evaluations over the domain, in place.
+// a must have length N.
+func (d *Domain) FFT(a []fr.Element) {
+	d.fft(a, &d.Gen)
+}
+
+// IFFT transforms evaluations over the domain back to coefficients,
+// in place. a must have length N.
+func (d *Domain) IFFT(a []fr.Element) {
+	d.fft(a, &d.GenInv)
+	for i := range a {
+		a[i].Mul(&a[i], &d.NInv)
+	}
+}
+
+// FFTCoset evaluates the polynomial over the coset g·H, in place.
+func (d *Domain) FFTCoset(a []fr.Element) {
+	shift := fr.One()
+	for i := range a {
+		a[i].Mul(&a[i], &shift)
+		shift.Mul(&shift, &d.CosetShift)
+	}
+	d.FFT(a)
+}
+
+// IFFTCoset interpolates evaluations over the coset g·H back to
+// coefficients, in place.
+func (d *Domain) IFFTCoset(a []fr.Element) {
+	d.IFFT(a)
+	shift := fr.One()
+	for i := range a {
+		a[i].Mul(&a[i], &shift)
+		shift.Mul(&shift, &d.CosetShiftInv)
+	}
+}
+
+// fft is an in-place iterative radix-2 Cooley–Tukey transform with
+// bit-reversal reordering, using root w as the primitive N-th root.
+func (d *Domain) fft(a []fr.Element, w *fr.Element) {
+	n := uint64(len(a))
+	if n != d.N {
+		panic(fmt.Sprintf("poly: fft input length %d != domain size %d", n, d.N))
+	}
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(d.Log)
+	for i := uint64(0); i < n; i++ {
+		j := bits.Reverse64(i) >> shift
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	// Precompute stage roots: w^(N/2), w^(N/4), ... by repeated squaring
+	// from w: rootOfStage(s) = w^(N / 2^s) for stage size 2^s.
+	stageRoot := make([]fr.Element, d.Log+1)
+	stageRoot[d.Log] = *w
+	for s := d.Log - 1; s >= 1; s-- {
+		stageRoot[s].Square(&stageRoot[s+1])
+	}
+	for s := 1; s <= d.Log; s++ {
+		m := uint64(1) << s
+		half := m >> 1
+		wm := stageRoot[s]
+		for k := uint64(0); k < n; k += m {
+			wj := fr.One()
+			for j := uint64(0); j < half; j++ {
+				var t fr.Element
+				t.Mul(&a[k+j+half], &wj)
+				var u fr.Element
+				u.Set(&a[k+j])
+				a[k+j].Add(&u, &t)
+				a[k+j+half].Sub(&u, &t)
+				wj.Mul(&wj, &wm)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package poseidon implements the Poseidon hash (Grassi et al., USENIX
+// Security 2021) over the BN254 scalar field with the paper's §VI-A
+// parameters: x⁵ S-box, width t = 3, R_F = 8 full rounds and R_P = 60
+// partial rounds ("x⁵-Poseidon-128").
+//
+// Poseidon is ZKDET's commitment primitive: a Poseidon hash over
+// (blinder ‖ message) is binding by collision resistance and hiding by the
+// uniformly random blinder, at roughly one-eighth the constraint count of a
+// Pedersen commitment (§IV-C2).
+//
+// Round constants and the MDS matrix are generated deterministically
+// (nothing-up-my-sleeve): constants from SHA-256 counters, the matrix as a
+// Cauchy matrix — these are not the audited production constants, but have
+// the same algebraic structure and cost.
+package poseidon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Parameters of the x⁵-Poseidon-128 instantiation (paper §VI-A).
+const (
+	// Width is the state size t.
+	Width = 3
+	// FullRounds is R_F (split half before, half after the partial rounds).
+	FullRounds = 8
+	// PartialRounds is R_P.
+	PartialRounds = 60
+	// Rate is the number of absorbed elements per permutation.
+	Rate = Width - 1
+)
+
+const totalRounds = FullRounds + PartialRounds
+
+// roundConstants[r][i] is the constant added to state[i] in round r.
+var roundConstants = func() [totalRounds][Width]fr.Element {
+	var cs [totalRounds][Width]fr.Element
+	for r := 0; r < totalRounds; r++ {
+		for i := 0; i < Width; i++ {
+			var buf [16]byte
+			binary.BigEndian.PutUint64(buf[:8], uint64(r))
+			binary.BigEndian.PutUint64(buf[8:], uint64(i))
+			h := sha256.Sum256(append([]byte("zkdet/poseidon"), buf[:]...))
+			cs[r][i] = fr.FromBytes(h[:])
+		}
+	}
+	return cs
+}()
+
+// mdsMatrix is the Cauchy matrix m[i][j] = 1/(x_i + y_j) with x_i = i,
+// y_j = Width + j; Cauchy matrices over a prime field are MDS.
+var mdsMatrix = func() [Width][Width]fr.Element {
+	var m [Width][Width]fr.Element
+	for i := 0; i < Width; i++ {
+		for j := 0; j < Width; j++ {
+			sum := fr.NewElement(uint64(i + Width + j))
+			m[i][j].Inverse(&sum)
+		}
+	}
+	return m
+}()
+
+func sbox(x fr.Element) fr.Element {
+	var x2, x4, x5 fr.Element
+	x2.Square(&x)
+	x4.Square(&x2)
+	x5.Mul(&x4, &x)
+	return x5
+}
+
+// Permute applies the Poseidon permutation to a state of Width elements.
+func Permute(state [Width]fr.Element) [Width]fr.Element {
+	half := FullRounds / 2
+	for r := 0; r < totalRounds; r++ {
+		for i := 0; i < Width; i++ {
+			state[i].Add(&state[i], &roundConstants[r][i])
+		}
+		if r < half || r >= half+PartialRounds {
+			for i := 0; i < Width; i++ {
+				state[i] = sbox(state[i])
+			}
+		} else {
+			state[0] = sbox(state[0])
+		}
+		state = mdsMul(state)
+	}
+	return state
+}
+
+func mdsMul(state [Width]fr.Element) [Width]fr.Element {
+	var out [Width]fr.Element
+	for i := 0; i < Width; i++ {
+		for j := 0; j < Width; j++ {
+			var t fr.Element
+			t.Mul(&mdsMatrix[i][j], &state[j])
+			out[i].Add(&out[i], &t)
+		}
+	}
+	return out
+}
+
+// Hash absorbs an arbitrary-length message with a sponge (rate 2,
+// capacity 1) and squeezes one element. The capacity lane is initialized
+// with the message length for domain separation.
+func Hash(msg []fr.Element) fr.Element {
+	var state [Width]fr.Element
+	state[Width-1] = fr.NewElement(uint64(len(msg)))
+	for off := 0; off < len(msg); off += Rate {
+		for i := 0; i < Rate && off+i < len(msg); i++ {
+			state[i].Add(&state[i], &msg[off+i])
+		}
+		state = Permute(state)
+	}
+	if len(msg) == 0 {
+		state = Permute(state)
+	}
+	return state[0]
+}
+
+// Compress is the 2-to-1 compression used by Merkle trees.
+func Compress(l, r fr.Element) fr.Element {
+	state := Permute([Width]fr.Element{l, r, fr.NewElement(2)})
+	return state[0]
+}
+
+// Commitment scheme (Definition 2.1 of the paper): c = H(o ‖ m) with a
+// uniformly random opening o. Binding follows from collision resistance,
+// hiding from the blinder.
+
+// ErrOpenFailed reports a commitment that does not open to the claimed
+// message.
+var ErrOpenFailed = errors.New("poseidon: commitment opening failed")
+
+// Commit commits to msg with a fresh random blinder, returning (c, o).
+func Commit(msg []fr.Element) (c, o fr.Element) {
+	o = fr.MustRandom()
+	return CommitWith(msg, o), o
+}
+
+// CommitWith commits with a caller-chosen blinder (deterministic; used by
+// circuits that must recompute the commitment).
+func CommitWith(msg []fr.Element, o fr.Element) fr.Element {
+	buf := make([]fr.Element, 0, len(msg)+1)
+	buf = append(buf, o)
+	buf = append(buf, msg...)
+	return Hash(buf)
+}
+
+// Open verifies that c is a commitment to msg under blinder o.
+func Open(msg []fr.Element, c, o fr.Element) bool {
+	want := CommitWith(msg, o)
+	return want.Equal(&c)
+}
+
+// GadgetPermute emits the Poseidon permutation as circuit constraints.
+func GadgetPermute(b *circuit.Builder, state [Width]circuit.Variable) [Width]circuit.Variable {
+	half := FullRounds / 2
+	for r := 0; r < totalRounds; r++ {
+		for i := 0; i < Width; i++ {
+			state[i] = b.AddConst(state[i], roundConstants[r][i])
+		}
+		if r < half || r >= half+PartialRounds {
+			for i := 0; i < Width; i++ {
+				state[i] = gadgetSbox(b, state[i])
+			}
+		} else {
+			state[0] = gadgetSbox(b, state[0])
+		}
+		state = gadgetMDS(b, state)
+	}
+	return state
+}
+
+func gadgetSbox(b *circuit.Builder, x circuit.Variable) circuit.Variable {
+	x2 := b.Square(x)
+	x4 := b.Square(x2)
+	return b.Mul(x4, x)
+}
+
+func gadgetMDS(b *circuit.Builder, state [Width]circuit.Variable) [Width]circuit.Variable {
+	var out [Width]circuit.Variable
+	for i := 0; i < Width; i++ {
+		acc := b.Lc2(state[0], mdsMatrix[i][0], state[1], mdsMatrix[i][1])
+		out[i] = b.Lc2(acc, fr.One(), state[2], mdsMatrix[i][2])
+	}
+	return out
+}
+
+// GadgetHash emits the sponge hash as constraints, mirroring Hash.
+func GadgetHash(b *circuit.Builder, msg []circuit.Variable) circuit.Variable {
+	state := [Width]circuit.Variable{
+		b.Zero(), b.Zero(), b.Constant(fr.NewElement(uint64(len(msg)))),
+	}
+	for off := 0; off < len(msg); off += Rate {
+		for i := 0; i < Rate && off+i < len(msg); i++ {
+			state[i] = b.Add(state[i], msg[off+i])
+		}
+		state = GadgetPermute(b, state)
+	}
+	if len(msg) == 0 {
+		state = GadgetPermute(b, state)
+	}
+	return state[0]
+}
+
+// GadgetCompress emits the 2-to-1 compression as constraints.
+func GadgetCompress(b *circuit.Builder, l, r circuit.Variable) circuit.Variable {
+	state := [Width]circuit.Variable{l, r, b.Constant(fr.NewElement(2))}
+	return GadgetPermute(b, state)[0]
+}
+
+// GadgetCommit emits the commitment computation as constraints: the
+// returned wire carries CommitWith(msg, o).
+func GadgetCommit(b *circuit.Builder, msg []circuit.Variable, o circuit.Variable) circuit.Variable {
+	buf := make([]circuit.Variable, 0, len(msg)+1)
+	buf = append(buf, o)
+	buf = append(buf, msg...)
+	return GadgetHash(b, buf)
+}
+
+// ConstraintsPerPermutation reports the gate cost of one permutation,
+// quantifying the §IV-C2 comparison against Pedersen commitments.
+func ConstraintsPerPermutation() int {
+	b := circuit.NewBuilder()
+	s := [Width]circuit.Variable{
+		b.Secret(fr.NewElement(1)), b.Secret(fr.NewElement(2)), b.Secret(fr.NewElement(3)),
+	}
+	before := b.NbGates()
+	GadgetPermute(b, s)
+	return b.NbGates() - before
+}
+
+// String describes the instantiation.
+func String() string {
+	return fmt.Sprintf("x^5-Poseidon-128 over BN254 Fr, t=%d, R_F=%d, R_P=%d", Width, FullRounds, PartialRounds)
+}

@@ -1,0 +1,83 @@
+// Package transcript implements a Fiat–Shamir transcript: a domain-separated
+// SHA-256 sponge that absorbs protocol messages and squeezes verifier
+// challenges, turning the interactive Plonk protocol into a NIZK.
+package transcript
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Transcript accumulates protocol messages and derives challenges. It is
+// deterministic: prover and verifier reconstruct identical challenges by
+// absorbing identical messages. Not safe for concurrent use.
+type Transcript struct {
+	state [32]byte
+}
+
+// New returns a transcript seeded with a protocol label, which provides
+// domain separation between protocols sharing the same primitives.
+func New(label string) *Transcript {
+	t := &Transcript{}
+	t.absorb([]byte("zkdet/transcript/v1"))
+	t.absorb([]byte(label))
+	return t
+}
+
+func (t *Transcript) absorb(data []byte) {
+	h := sha256.New()
+	h.Write(t.state[:])
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(data)))
+	h.Write(lenBuf[:])
+	h.Write(data)
+	copy(t.state[:], h.Sum(nil))
+}
+
+// AppendBytes absorbs a labelled byte string.
+func (t *Transcript) AppendBytes(label string, data []byte) {
+	t.absorb([]byte(label))
+	t.absorb(data)
+}
+
+// AppendScalar absorbs a labelled field element.
+func (t *Transcript) AppendScalar(label string, s *fr.Element) {
+	b := s.Bytes()
+	t.AppendBytes(label, b[:])
+}
+
+// AppendScalars absorbs a labelled list of field elements.
+func (t *Transcript) AppendScalars(label string, ss []fr.Element) {
+	t.absorb([]byte(label))
+	for i := range ss {
+		b := ss[i].Bytes()
+		t.absorb(b[:])
+	}
+}
+
+// AppendPoint absorbs a labelled G1 point.
+func (t *Transcript) AppendPoint(label string, p *bn254.G1Affine) {
+	b := p.Bytes()
+	t.AppendBytes(label, b[:])
+}
+
+// ChallengeScalar derives a labelled challenge in the scalar field and
+// absorbs it back into the transcript so later challenges depend on it.
+func (t *Transcript) ChallengeScalar(label string) fr.Element {
+	t.absorb([]byte(label))
+	t.absorb([]byte("challenge"))
+	// Two squeezes widen the sample to 512 bits so the mod-r bias is
+	// negligible (< 2^-256).
+	h1 := sha256.Sum256(append(t.state[:], 0x01))
+	h2 := sha256.Sum256(append(t.state[:], 0x02))
+	var wide [64]byte
+	copy(wide[:32], h1[:])
+	copy(wide[32:], h2[:])
+	c := fr.FromBytes(wide[:])
+	b := c.Bytes()
+	t.absorb(b[:])
+	return c
+}
