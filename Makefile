@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the full pre-merge gate: it runs
+# vet, a full build, the complete test suite, and the race detector over
+# the concurrency-bearing packages (the parallel FFT/MSM/prover hot paths).
+
+GO ?= go
+
+# Packages that spawn worker pools; these get the race detector.
+RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/...
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Package-level prover-stack benchmarks (Domain.FFT, G1MSM, kzg.Commit,
+# plonk.Prove at 2^10..2^16); see EXPERIMENTS.md for recorded trajectories.
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkFFT$$|BenchmarkG1MSM$$|BenchmarkCommit$$|BenchmarkProve$$' -benchmem \
+		./internal/poly/ ./internal/bn254/ ./internal/kzg/ ./internal/plonk/

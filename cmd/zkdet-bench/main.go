@@ -86,6 +86,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fmt.Printf("environment: %s\n", bench.Environment())
 
 	var sys *core.System
 	system := func() *core.System {

@@ -12,6 +12,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/zkdet/zkdet/internal/apps/logreg"
@@ -26,6 +27,16 @@ import (
 	"github.com/zkdet/zkdet/internal/plonk"
 	"github.com/zkdet/zkdet/internal/poseidon"
 )
+
+// Environment describes the machine a report was measured on. The prover
+// hot paths fan out across a GOMAXPROCS-bounded worker pool (see DESIGN.md
+// "Parallelism model"), so recorded times are only comparable alongside
+// the core count they were measured with.
+func Environment() string {
+	return fmt.Sprintf("%s %s/%s, %d CPU(s), GOMAXPROCS=%d",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH,
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
 
 // newSRS builds a deterministic SRS able to carry circuits of n gates.
 func newSRS(maxConstraints int) (*kzg.SRS, error) {

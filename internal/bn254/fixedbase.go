@@ -1,10 +1,8 @@
 package bn254
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/parallel"
 )
 
 // fixedBaseWindow is the window width (bits) of the fixed-base table.
@@ -66,35 +64,20 @@ func (t *G1FixedBaseTable) Mul(s *fr.Element) G1Affine {
 // affine conversion.
 func (t *G1FixedBaseTable) MulMany(scalars []fr.Element) []G1Affine {
 	jacs := make([]G1Jac, len(scalars))
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (len(scalars) + workers - 1) / workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for start := 0; start < len(scalars); start += chunk {
-		end := start + chunk
-		if end > len(scalars) {
-			end = len(scalars)
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			for i := start; i < end; i++ {
-				var acc G1Jac
-				acc.SetInfinity()
-				b := scalars[i].Bytes()
-				for w := 0; w < len(t.table); w++ {
-					d := int(b[31-w])
-					if d != 0 {
-						acc.AddMixed(&t.table[w][d-1])
-					}
+	parallel.Execute(len(scalars), func(start, end int) {
+		for i := start; i < end; i++ {
+			var acc G1Jac
+			acc.SetInfinity()
+			b := scalars[i].Bytes()
+			for w := 0; w < len(t.table); w++ {
+				d := int(b[31-w])
+				if d != 0 {
+					acc.AddMixed(&t.table[w][d-1])
 				}
-				jacs[i] = acc
 			}
-		}(start, end)
-	}
-	wg.Wait()
+			jacs[i] = acc
+		}
+	})
 	out := make([]G1Affine, len(scalars))
 	g1BatchFromJacobian(out, jacs)
 	return out

@@ -2,15 +2,24 @@ package bn254
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+	"math/bits"
 
 	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/parallel"
 )
 
+// msmMinChunk is the smallest per-task point range worth a goroutine: a
+// bucket accumulation over fewer points is dominated by the bucket
+// reduction itself.
+const msmMinChunk = 256
+
 // G1MSM computes the multi-scalar multiplication ∑ scalars[i]·points[i]
-// with Pippenger's bucket algorithm, parallelised across windows. It is the
-// workhorse behind every KZG commitment in the repo.
+// with Pippenger's bucket algorithm using signed windowed digits (halving
+// the bucket count per window) and a two-dimensional parallel split: the
+// point vector is chunked so the task count is numWindows × numChunks,
+// which saturates any core count instead of capping at the ~20–30 windows
+// of a 254-bit scalar. It is the workhorse behind every KZG commitment in
+// the repo.
 func G1MSM(points []G1Affine, scalars []fr.Element) (G1Affine, error) {
 	if len(points) != len(scalars) {
 		return G1Affine{}, fmt.Errorf("bn254: msm length mismatch: %d points, %d scalars", len(points), len(scalars))
@@ -31,39 +40,87 @@ func G1MSM(points []G1Affine, scalars []fr.Element) (G1Affine, error) {
 		out.FromJacobian(&acc)
 		return out, nil
 	}
+	return msmWithWindow(points, scalars, windowSize(len(points))), nil
+}
 
-	c := windowSize(len(points))
-	const scalarBits = 254
-	numWindows := (scalarBits + c - 1) / c
-
-	// Canonical big-endian bytes, once per scalar.
-	digits := make([][]int, numWindows)
-	for w := range digits {
-		digits[w] = make([]int, len(scalars))
-	}
-	for i := range scalars {
-		b := scalars[i].Bytes()
-		for w := 0; w < numWindows; w++ {
-			digits[w][i] = windowDigit(b[:], w*c, c)
+// msmWithWindow is the Pippenger core with an explicit window width; tests
+// call it directly to exercise every windowSize breakpoint on small inputs.
+func msmWithWindow(points []G1Affine, scalars []fr.Element, c int) G1Affine {
+	// Convert once out of Montgomery form and bound the window count by the
+	// largest scalar: windows above the top set bit recode to all-zero
+	// digits, so materialising them would only add empty bucket reductions
+	// and c doublings each. Commitments to low-degree or small-coefficient
+	// polynomials hit this path hard.
+	bes := make([][32]byte, len(scalars))
+	parallel.Execute(len(scalars), func(start, end int) {
+		for i := start; i < end; i++ {
+			bes[i] = scalars[i].Bytes()
+		}
+	})
+	maxBits := 0
+	for i := range bes {
+		for j := 0; j < 32; j++ {
+			if bes[i][j] != 0 {
+				if n := 8*(31-j) + bits.Len8(bes[i][j]); n > maxBits {
+					maxBits = n
+				}
+				break
+			}
 		}
 	}
+	// One extra window absorbs the final carry of the signed-digit
+	// recoding (its digit is 0 or 1).
+	numWindows := (maxBits+c-1)/c + 1
 
-	// Each window's bucket accumulation is independent; run them in
-	// parallel, then combine with doublings.
-	windowSums := make([]G1Jac, numWindows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < numWindows; w++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(w int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			windowSums[w] = bucketAccumulate(points, digits[w], c)
-		}(w)
+	// Signed windowed recoding: digits in [-2^(c-1), 2^(c-1)-1] with carry
+	// propagation, so each window needs only 2^(c-1) buckets (negative
+	// digits subtract the point, an affine negation that is a single field
+	// negation).
+	digits := make([][]int32, numWindows)
+	for w := range digits {
+		digits[w] = make([]int32, len(scalars))
 	}
-	wg.Wait()
+	parallel.Execute(len(scalars), func(start, end int) {
+		for i := start; i < end; i++ {
+			carry := 0
+			for w := 0; w < numWindows; w++ {
+				d := windowDigit(bes[i][:], w*c, c) + carry
+				carry = 0
+				if d >= 1<<(c-1) {
+					d -= 1 << c
+					carry = 1
+				}
+				digits[w][i] = int32(d)
+			}
+		}
+	})
 
+	// Two-dimensional task grid: windows × point chunks. Chunking only
+	// helps when the per-chunk ranges stay large enough to amortise the
+	// extra bucket reductions.
+	numChunks := (parallel.Workers() + numWindows - 1) / numWindows
+	if maxChunks := (len(points) + msmMinChunk - 1) / msmMinChunk; numChunks > maxChunks {
+		numChunks = maxChunks
+	}
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	chunkLen := (len(points) + numChunks - 1) / numChunks
+
+	partial := make([]G1Jac, numWindows*numChunks)
+	parallel.Execute(numWindows*numChunks, func(start, end int) {
+		for task := start; task < end; task++ {
+			w := task / numChunks
+			lo := (task % numChunks) * chunkLen
+			hi := lo + chunkLen
+			if hi > len(points) {
+				hi = len(points)
+			}
+			partial[task] = bucketAccumulate(points[lo:hi], digits[w][lo:hi], c)
+		}
+	})
+
+	// Reduce chunk sums per window, then combine windows with doublings.
 	var acc G1Jac
 	acc.SetInfinity()
 	for w := numWindows - 1; w >= 0; w-- {
@@ -72,22 +129,32 @@ func G1MSM(points []G1Affine, scalars []fr.Element) (G1Affine, error) {
 				acc.Double(&acc)
 			}
 		}
-		acc.AddAssign(&windowSums[w])
+		for chunk := 0; chunk < numChunks; chunk++ {
+			acc.AddAssign(&partial[w*numChunks+chunk])
+		}
 	}
 	var out G1Affine
 	out.FromJacobian(&acc)
-	return out, nil
+	return out
 }
 
-// bucketAccumulate computes ∑ digit_i · P_i for one window.
-func bucketAccumulate(points []G1Affine, digit []int, c int) G1Jac {
-	buckets := make([]G1Jac, (1<<c)-1)
+// bucketAccumulate computes ∑ digit_i · P_i for one window over one point
+// chunk. Buckets hold |digit| ∈ [1, 2^(c-1)]; negative digits contribute
+// the negated point.
+func bucketAccumulate(points []G1Affine, digit []int32, c int) G1Jac {
+	buckets := make([]G1Jac, 1<<(c-1))
 	for i := range points {
 		d := digit[i]
 		if d == 0 {
 			continue
 		}
-		buckets[d-1].AddMixed(&points[i])
+		if d > 0 {
+			buckets[d-1].AddMixed(&points[i])
+		} else {
+			var neg G1Affine
+			neg.Neg(&points[i])
+			buckets[-d-1].AddMixed(&neg)
+		}
 	}
 	var running, sum G1Jac
 	running.SetInfinity()
@@ -100,7 +167,8 @@ func bucketAccumulate(points []G1Affine, digit []int, c int) G1Jac {
 }
 
 // windowDigit extracts c bits starting at bit offset (counting from the
-// least-significant bit) of a 32-byte big-endian scalar.
+// least-significant bit) of a 32-byte big-endian scalar. Offsets at or
+// beyond 256 yield zero.
 func windowDigit(be []byte, offset, c int) int {
 	d := 0
 	for k := 0; k < c; k++ {

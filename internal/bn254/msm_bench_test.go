@@ -1,0 +1,24 @@
+package bn254
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkG1MSM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const maxLog = 16
+	points := msmTestPoints(1 << maxLog)
+	scalars := msmTestScalars(rng, 1<<maxLog)
+	for _, logN := range []int{10, 12, 14, 16} {
+		n := 1 << logN
+		b.Run(fmt.Sprintf("2^%d", logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := G1MSM(points[:n], scalars[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package bn254
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// msmTestPoints returns n distinct points built by successive additions of
+// the generator (cheap compared to n scalar multiplications).
+func msmTestPoints(n int) []G1Affine {
+	g := G1Generator()
+	jacs := make([]G1Jac, n)
+	var acc G1Jac
+	acc.SetInfinity()
+	for i := 0; i < n; i++ {
+		acc.AddMixed(&g)
+		jacs[i] = acc
+	}
+	out := make([]G1Affine, n)
+	g1BatchFromJacobian(out, jacs)
+	return out
+}
+
+// msmTestScalars mixes full-width scalars with the edge cases the signed
+// recoding has to get right: 0, 1, r-1 (all-ones carries) and small values.
+func msmTestScalars(rng *rand.Rand, n int) []fr.Element {
+	out := make([]fr.Element, n)
+	minusOne := fr.Zero()
+	one := fr.One()
+	minusOne.Sub(&minusOne, &one)
+	for i := range out {
+		switch rng.Intn(8) {
+		case 0:
+			out[i] = fr.Zero()
+		case 1:
+			out[i] = fr.One()
+		case 2:
+			out[i] = minusOne
+		case 3:
+			out[i] = fr.NewElement(rng.Uint64())
+		default:
+			out[i] = fr.MustRandom()
+		}
+	}
+	return out
+}
+
+// msmNaive is the definitional reference: ∑ scalars[i]·points[i] by
+// individual scalar multiplications.
+func msmNaive(points []G1Affine, scalars []fr.Element) G1Affine {
+	var acc G1Jac
+	acc.SetInfinity()
+	for i := range points {
+		var t G1Jac
+		t.ScalarMul(&points[i], &scalars[i])
+		acc.AddAssign(&t)
+	}
+	var out G1Affine
+	out.FromJacobian(&acc)
+	return out
+}
+
+// TestG1MSMMatchesNaive cross-checks the signed-digit chunked MSM against
+// the naive sum at sizes straddling the windowSize breakpoints at 32
+// (naive cutoff), 64, 256 and 1024.
+func TestG1MSMMatchesNaive(t *testing.T) {
+	sizes := []int{1, 2, 31, 32, 33, 63, 64, 65, 255, 256, 257, 1023, 1024, 1025}
+	if testing.Short() {
+		sizes = []int{1, 31, 33, 65, 257}
+	}
+	maxN := sizes[len(sizes)-1]
+	rng := rand.New(rand.NewSource(42))
+	points := msmTestPoints(maxN)
+	scalars := msmTestScalars(rng, maxN)
+	for _, n := range sizes {
+		got, err := G1MSM(points[:n], scalars[:n])
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := msmNaive(points[:n], scalars[:n])
+		if !got.Equal(&want) {
+			t.Fatalf("n=%d: G1MSM differs from naive sum", n)
+		}
+	}
+}
+
+// TestMSMEveryWindowWidth runs the Pippenger core at every window width
+// the windowSize breakpoints can select (including the 12- and 14-bit
+// windows normally reserved for 2^14+ points), so each bucket layout is
+// exercised without a quarter-million-point naive reference.
+func TestMSMEveryWindowWidth(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(43))
+	points := msmTestPoints(n)
+	scalars := msmTestScalars(rng, n)
+	want := msmNaive(points, scalars)
+	for _, c := range []int{3, 5, 7, 9, 12, 14} {
+		got := msmWithWindow(points, scalars, c)
+		if !got.Equal(&want) {
+			t.Fatalf("window=%d: msmWithWindow differs from naive sum", c)
+		}
+	}
+}
+
+// TestG1MSMWithInfinityPoints asserts points at infinity in the input are
+// handled as zeros.
+func TestG1MSMWithInfinityPoints(t *testing.T) {
+	const n = 100
+	rng := rand.New(rand.NewSource(44))
+	points := msmTestPoints(n)
+	scalars := msmTestScalars(rng, n)
+	for i := 0; i < n; i += 7 {
+		points[i] = G1Affine{} // infinity
+	}
+	got, err := G1MSM(points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := msmNaive(points, scalars)
+	if !got.Equal(&want) {
+		t.Fatal("G1MSM with infinity points differs from naive sum")
+	}
+}
+
+// TestG1MSMErrors covers the length-mismatch and empty-input contracts.
+// TestG1MSMSmallScalars pins the window-count bound: scalars far below the
+// 254-bit ceiling (including the all-zero vector) must still sum exactly.
+func TestG1MSMSmallScalars(t *testing.T) {
+	const n = 300
+	points := msmTestPoints(n)
+	scalars := make([]fr.Element, n)
+	for i := range scalars {
+		scalars[i] = fr.NewElement(uint64(i) * 2654435761)
+	}
+	got, err := G1MSM(points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := msmNaive(points, scalars)
+	if !got.Equal(&want) {
+		t.Fatal("G1MSM with small scalars differs from naive sum")
+	}
+
+	zeros := make([]fr.Element, n)
+	got, err = G1MSM(points, zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsInfinity() {
+		t.Fatal("G1MSM of all-zero scalars is not infinity")
+	}
+}
+
+func TestG1MSMErrors(t *testing.T) {
+	points := msmTestPoints(2)
+	scalars := msmTestScalars(rand.New(rand.NewSource(45)), 3)
+	if _, err := G1MSM(points, scalars); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	out, err := G1MSM(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsInfinity() {
+		t.Fatal("empty MSM should be the point at infinity")
+	}
+}

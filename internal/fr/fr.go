@@ -13,6 +13,7 @@ import (
 	"math/big"
 
 	"github.com/zkdet/zkdet/internal/ff"
+	"github.com/zkdet/zkdet/internal/parallel"
 )
 
 // ModulusDecimal is the BN254 scalar field modulus in base 10.
@@ -176,9 +177,34 @@ func (z *Element) ExpUint64(x *Element, e uint64) *Element {
 	return z.Exp(x, new(big.Int).SetUint64(e))
 }
 
-// BatchInvert inverts every non-zero element of xs in place with a single
-// field inversion (Montgomery's trick). Zero entries stay zero.
+// Butterfly sets (a, b) = (a+b, a-b), the radix-2 FFT butterfly core.
+func Butterfly(a, b *Element) {
+	var t Element
+	t.Set(a)
+	a.Add(&t, b)
+	b.Sub(&t, b)
+}
+
+// batchInvertParallelThreshold is the size above which BatchInvert splits
+// the input across workers. Each chunk pays one extra field inversion
+// (hundreds of multiplications), so chunks must be large enough that the
+// saved 3·n multiplications per worker dominate.
+const batchInvertParallelThreshold = 1 << 12
+
+// BatchInvert inverts every non-zero element of xs in place with one field
+// inversion per worker chunk (Montgomery's trick). Zero entries stay zero.
+// Results are exact inverses, so the output is independent of worker count.
 func BatchInvert(xs []Element) {
+	if len(xs) >= batchInvertParallelThreshold && parallel.Workers() > 1 {
+		parallel.Execute(len(xs), func(start, end int) {
+			batchInvertSerial(xs[start:end])
+		})
+		return
+	}
+	batchInvertSerial(xs)
+}
+
+func batchInvertSerial(xs []Element) {
 	raw := make([]ff.Element, len(xs))
 	for i := range xs {
 		raw[i] = xs[i].v
@@ -187,6 +213,36 @@ func BatchInvert(xs []Element) {
 	for i := range xs {
 		xs[i].v = raw[i]
 	}
+}
+
+// Powers returns [1, base, base², …, base^(n-1)]. Large requests are split
+// across workers, each seeding its chunk with a single exponentiation; the
+// values are exact powers either way, so the result is independent of
+// worker count.
+func Powers(base *Element, n int) []Element {
+	out := make([]Element, n)
+	if n == 0 {
+		return out
+	}
+	const minChunk = 1 << 11
+	workers := parallel.Workers()
+	if n < 2*minChunk || workers <= 1 {
+		out[0] = One()
+		for i := 1; i < n; i++ {
+			out[i].Mul(&out[i-1], base)
+		}
+		return out
+	}
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	parallel.ExecuteWorkers(n, workers, func(start, end int) {
+		out[start].ExpUint64(base, uint64(start))
+		for i := start + 1; i < end; i++ {
+			out[i].Mul(&out[i-1], base)
+		}
+	})
+	return out
 }
 
 // RootOfUnity returns a primitive 2^logN-th root of unity. It returns an

@@ -4,11 +4,10 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/zkdet/zkdet/internal/bn254"
 	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/parallel"
 )
 
 // This file implements a simulated multi-party Powers-of-Tau ceremony,
@@ -69,30 +68,13 @@ func (c *Ceremony) Contribute(entropy []byte) error {
 		return errors.New("kzg: derived zero contribution secret")
 	}
 	// New G1[i] = [s^i] old G1[i]; new [τs]G2 = [s] old [τ]G2.
-	pow := fr.One()
-	scalars := make([]fr.Element, len(c.srs.G1))
-	for i := range scalars {
-		scalars[i] = pow
-		pow.Mul(&pow, &s)
-	}
+	scalars := fr.Powers(&s, len(c.srs.G1))
 	// Each power update is an independent scalar multiplication.
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (len(c.srs.G1) + workers - 1) / workers
-	for start := 1; start < len(c.srs.G1); start += chunk {
-		end := start + chunk
-		if end > len(c.srs.G1) {
-			end = len(c.srs.G1)
+	parallel.Execute(len(c.srs.G1)-1, func(start, end int) {
+		for i := start + 1; i < end+1; i++ {
+			c.srs.G1[i] = bn254.G1ScalarMul(&c.srs.G1[i], &scalars[i])
 		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			for i := start; i < end; i++ {
-				c.srs.G1[i] = bn254.G1ScalarMul(&c.srs.G1[i], &scalars[i])
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	})
 	c.srs.G2[1] = bn254.G2ScalarMul(&c.srs.G2[1], &s)
 
 	g1 := bn254.G1Generator()

@@ -44,11 +44,7 @@ func NewSRSFromSecret(size int, tau *fr.Element) (*SRS, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("kzg: srs size must be at least 2, got %d", size)
 	}
-	scalars := make([]fr.Element, size)
-	scalars[0] = fr.One()
-	for i := 1; i < size; i++ {
-		scalars[i].Mul(&scalars[i-1], tau)
-	}
+	scalars := fr.Powers(tau, size)
 	g1 := bn254.G1Generator()
 	table := bn254.NewG1FixedBaseTable(&g1)
 	srs := &SRS{G1: table.MulMany(scalars)}

@@ -261,24 +261,6 @@ func TestCeremonyDetectsTampering(t *testing.T) {
 	}
 }
 
-func BenchmarkCommit(b *testing.B) {
-	tau := fr.NewElement(0x1234)
-	for _, n := range []int{1 << 10, 1 << 12} {
-		srs, err := NewSRSFromSecret(n, &tau)
-		if err != nil {
-			b.Fatal(err)
-		}
-		p := randPoly(n)
-		b.Run(itoa(n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := Commit(srs, p); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 func BenchmarkSRSGen(b *testing.B) {
 	tau := fr.NewElement(0x9999)
 	for _, n := range []int{1 << 10, 1 << 14} {

@@ -1,0 +1,61 @@
+// Package parallel provides the repo-wide worker-pool conventions used by
+// the prover hot paths (poly, bn254, plonk, kzg): every fan-out is bounded
+// by GOMAXPROCS, splits its index space into contiguous ranges so workers
+// write disjoint slices, and falls back to running inline when there is
+// only one worker or too little work to amortise goroutine startup.
+//
+// All helpers are deterministic with respect to the computed values: they
+// only partition loops whose iterations are independent, so results are
+// bit-identical to the serial execution regardless of worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the number of workers a fan-out should use: GOMAXPROCS.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Execute partitions [0, n) into at most Workers() contiguous ranges and
+// runs work on each concurrently, returning once every range is done.
+// When n is small or a single worker is available it runs inline on the
+// calling goroutine.
+func Execute(n int, work func(start, end int)) {
+	ExecuteWorkers(n, Workers(), work)
+}
+
+// ExecuteWorkers is Execute with an explicit worker-count bound. It is the
+// building block tests use to force a parallel split on single-core
+// machines (and the serial fallback on many-core ones).
+func ExecuteWorkers(n, workers int, work func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		work(0, n)
+		return
+	}
+	chunk := n / workers
+	rem := n % workers
+	var wg sync.WaitGroup
+	start := 0
+	for w := 0; w < workers; w++ {
+		end := start + chunk
+		if w < rem {
+			end++
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			work(start, end)
+		}(start, end)
+		start = end
+	}
+	wg.Wait()
+}

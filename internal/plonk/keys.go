@@ -23,7 +23,13 @@ const (
 // and the SRS.
 type ProvingKey struct {
 	Domain *poly.Domain
-	SRS    *kzg.SRS
+	// Domain4 is the 4n coset evaluation domain used by the round-3
+	// quotient build. It is preprocessed here so repeated proofs (the
+	// marketplace/exchange flows in internal/core prove against one key
+	// many times) don't pay domain construction — and, via the domain's
+	// lazy caches, re-derive twiddle/coset tables — per proof.
+	Domain4 *poly.Domain
+	SRS     *kzg.SRS
 
 	// Selector polynomials qL, qR, qO, qM, qC in coefficient form.
 	QL, QR, QO, QM, QC poly.Polynomial
@@ -70,6 +76,10 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 		n <<= 1
 	}
 	domain, err := poly.NewDomain(n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plonk: %w", err)
+	}
+	domain4, err := poly.NewDomain(4 * n)
 	if err != nil {
 		return nil, nil, fmt.Errorf("plonk: %w", err)
 	}
@@ -155,6 +165,7 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 	}
 	pk := &ProvingKey{
 		Domain:     domain,
+		Domain4:    domain4,
 		SRS:        srs,
 		QL:         toPoly(qL),
 		QR:         toPoly(qR),
@@ -177,29 +188,10 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 		K1:       k1,
 		K2:       k2,
 	}
-	commit := func(p poly.Polynomial) (kzg.Commitment, error) { return kzg.Commit(srs, p) }
-	if vk.QL, err = commit(pk.QL); err != nil {
-		return nil, nil, err
-	}
-	if vk.QR, err = commit(pk.QR); err != nil {
-		return nil, nil, err
-	}
-	if vk.QO, err = commit(pk.QO); err != nil {
-		return nil, nil, err
-	}
-	if vk.QM, err = commit(pk.QM); err != nil {
-		return nil, nil, err
-	}
-	if vk.QC, err = commit(pk.QC); err != nil {
-		return nil, nil, err
-	}
-	if vk.S1, err = commit(pk.S1); err != nil {
-		return nil, nil, err
-	}
-	if vk.S2, err = commit(pk.S2); err != nil {
-		return nil, nil, err
-	}
-	if vk.S3, err = commit(pk.S3); err != nil {
+	// The eight preprocessed commitments are independent MSMs.
+	if err := commitParallel(srs,
+		[]poly.Polynomial{pk.QL, pk.QR, pk.QO, pk.QM, pk.QC, pk.S1, pk.S2, pk.S3},
+		[]*kzg.Commitment{&vk.QL, &vk.QR, &vk.QO, &vk.QM, &vk.QC, &vk.S1, &vk.S2, &vk.S3}); err != nil {
 		return nil, nil, err
 	}
 	pk.VK = vk

@@ -1,0 +1,74 @@
+package plonk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+)
+
+// benchSquareChain builds a circuit with exactly 2^logN gates computing the
+// repeated-squaring chain x_{i+1} = x_i², plus its witness.
+func benchSquareChain(logN int) (*ConstraintSystem, []fr.Element) {
+	cs := NewConstraintSystem(1)
+	x := 0
+	witness := []fr.Element{fr.NewElement(3)}
+	var negOne fr.Element
+	one := fr.One()
+	negOne.Neg(&one)
+	for cs.NbGates() < 1<<logN {
+		y := cs.NewVariable()
+		cs.MustAddGate(Gate{QM: one, QO: negOne, A: x, B: x, C: y})
+		var sq fr.Element
+		sq.Square(&witness[x])
+		witness = append(witness, sq)
+		x = y
+	}
+	return cs, witness
+}
+
+func BenchmarkProve(b *testing.B) {
+	for _, logN := range []int{10, 12, 14} {
+		cs, witness := benchSquareChain(logN)
+		tau := fr.NewElement(0xbeef)
+		srs, err := kzg.NewSRSFromSecret((1<<logN)+9, &tau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pk, _, err := Setup(cs, srs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the proving key's lazy domain caches so the benchmark
+		// measures steady-state proving.
+		if _, err := Prove(pk, witness); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("2^%d", logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Prove(pk, witness); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSetup(b *testing.B) {
+	for _, logN := range []int{10, 12} {
+		cs, _ := benchSquareChain(logN)
+		tau := fr.NewElement(0xbeef)
+		srs, err := kzg.NewSRSFromSecret((1<<logN)+9, &tau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("2^%d", logN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Setup(cs, srs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

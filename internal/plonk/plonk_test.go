@@ -343,23 +343,6 @@ func TestProveWitnessLength(t *testing.T) {
 	}
 }
 
-func BenchmarkProve(b *testing.B) {
-	for _, k := range []int{100, 1000} {
-		cs, witness := buildPowerCircuit(k)
-		pk, _, err := Setup(cs, testSRSOnce())
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(itoa(k), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := Prove(pk, witness); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 func BenchmarkVerify(b *testing.B) {
 	cs, witness := buildPowerCircuit(1000)
 	pk, vk, err := Setup(cs, testSRSOnce())

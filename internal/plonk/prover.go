@@ -2,33 +2,30 @@ package plonk
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/parallel"
 	"github.com/zkdet/zkdet/internal/poly"
 	"github.com/zkdet/zkdet/internal/transcript"
 )
 
 // commitParallel runs independent KZG commitments concurrently, writing
-// each result through its output pointer.
-func commitParallel(pk *ProvingKey, ps []poly.Polynomial, outs []*kzg.Commitment) error {
-	var wg sync.WaitGroup
+// each result through its output pointer. The fan-out is bounded by the
+// repo-wide worker pool (GOMAXPROCS) like every other prover hot loop, so
+// a large batch of polynomials can't spawn an unbounded goroutine herd.
+func commitParallel(srs *kzg.SRS, ps []poly.Polynomial, outs []*kzg.Commitment) error {
 	errs := make([]error, len(ps))
-	for i := range ps {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c, err := kzg.Commit(pk.SRS, ps[i])
+	parallel.Execute(len(ps), func(start, end int) {
+		for i := start; i < end; i++ {
+			c, err := kzg.Commit(srs, ps[i])
 			if err != nil {
 				errs[i] = err
-				return
+				continue
 			}
 			*outs[i] = c
-		}(i)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -81,9 +78,53 @@ func bindTranscript(t *transcript.Transcript, vk *VerifyingKey, public []fr.Elem
 	t.AppendScalars("public-inputs", public)
 }
 
+// coset4 returns the preprocessed 4n coset domain, building it only for
+// proving keys that predate the Domain4 field (hand-constructed in tests).
+func coset4(pk *ProvingKey) (*poly.Domain, error) {
+	if pk.Domain4 != nil {
+		return pk.Domain4, nil
+	}
+	d, err := poly.NewDomain(4 * pk.Domain.N)
+	if err != nil {
+		return nil, fmt.Errorf("plonk: %w", err)
+	}
+	pk.Domain4 = d
+	return d, nil
+}
+
+// foldPolys returns ∑ coeffs[k]·ps[k] in a single pass, range-splitting the
+// coefficient index across workers.
+func foldPolys(ps []poly.Polynomial, coeffs []fr.Element) poly.Polynomial {
+	maxLen := 0
+	for _, p := range ps {
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+	}
+	out := make(poly.Polynomial, maxLen)
+	parallel.Execute(maxLen, func(start, end int) {
+		for i := start; i < end; i++ {
+			var acc, t fr.Element
+			for k, p := range ps {
+				if i >= len(p) {
+					continue
+				}
+				t.Mul(&p[i], &coeffs[k])
+				acc.Add(&acc, &t)
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}
+
 // Prove produces a proof that the witness satisfies the preprocessed
 // circuit. The witness assigns every variable; its first NbPublic entries
 // must equal the public inputs passed to Verify.
+//
+// Every O(n) and O(4n) loop below is range-split across the bounded worker
+// pool; the only serial remainders are the grand-product prefix scan and
+// the transcript, which are inherently sequential.
 func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	if len(witness) != pk.nbVars {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrWitnessLength, len(witness), pk.nbVars)
@@ -97,15 +138,17 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	aV := make([]fr.Element, n)
 	bV := make([]fr.Element, n)
 	cV := make([]fr.Element, n)
-	for i := 0; i < nInt; i++ {
-		var g Gate // padding rows wire to variable 0 with all selectors zero
-		if i < len(pk.gates) {
-			g = pk.gates[i]
+	parallel.Execute(nInt, func(start, end int) {
+		for i := start; i < end; i++ {
+			var g Gate // padding rows wire to variable 0 with all selectors zero
+			if i < len(pk.gates) {
+				g = pk.gates[i]
+			}
+			aV[i] = witness[g.A]
+			bV[i] = witness[g.B]
+			cV[i] = witness[g.C]
 		}
-		aV[i] = witness[g.A]
-		bV[i] = witness[g.B]
-		cV[i] = witness[g.C]
-	}
+	})
 
 	// Public-input polynomial: PI(ω^i) = -x_i.
 	piEvals := make([]fr.Element, n)
@@ -138,7 +181,7 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	var err error
 	// The three wire commitments are independent MSMs; run them in
 	// parallel (the prover's dominant cost).
-	if err = commitParallel(pk,
+	if err = commitParallel(pk.SRS,
 		[]poly.Polynomial{aPoly, bPoly, cPoly},
 		[]*kzg.Commitment{&proof.A, &proof.B, &proof.C}); err != nil {
 		return nil, err
@@ -152,43 +195,47 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	beta := tr.ChallengeScalar("beta")
 	gamma := tr.ChallengeScalar("gamma")
 
-	// Round 2: grand-product polynomial z.
+	// Round 2: grand-product polynomial z. The per-row numerator and
+	// denominator products are independent; only the prefix scan that
+	// turns them into z is serial.
 	omega := pk.Domain.Elements()
 	k1 := fr.NewElement(permK1)
 	k2 := fr.NewElement(permK2)
 	nums := make([]fr.Element, n)
 	dens := make([]fr.Element, n)
-	for i := 0; i < nInt; i++ {
-		var f1, f2, f3, t fr.Element
-		// (a + β·ω^i + γ)(b + β·k1·ω^i + γ)(c + β·k2·ω^i + γ)
-		f1.Mul(&beta, &omega[i])
-		f1.Add(&f1, &aV[i])
-		f1.Add(&f1, &gamma)
-		t.Mul(&beta, &omega[i])
-		t.Mul(&t, &k1)
-		f2.Add(&bV[i], &t)
-		f2.Add(&f2, &gamma)
-		t.Mul(&beta, &omega[i])
-		t.Mul(&t, &k2)
-		f3.Add(&cV[i], &t)
-		f3.Add(&f3, &gamma)
-		nums[i].Mul(&f1, &f2)
-		nums[i].Mul(&nums[i], &f3)
+	parallel.Execute(nInt, func(start, end int) {
+		for i := start; i < end; i++ {
+			var f1, f2, f3, t fr.Element
+			// (a + β·ω^i + γ)(b + β·k1·ω^i + γ)(c + β·k2·ω^i + γ)
+			f1.Mul(&beta, &omega[i])
+			f1.Add(&f1, &aV[i])
+			f1.Add(&f1, &gamma)
+			t.Mul(&beta, &omega[i])
+			t.Mul(&t, &k1)
+			f2.Add(&bV[i], &t)
+			f2.Add(&f2, &gamma)
+			t.Mul(&beta, &omega[i])
+			t.Mul(&t, &k2)
+			f3.Add(&cV[i], &t)
+			f3.Add(&f3, &gamma)
+			nums[i].Mul(&f1, &f2)
+			nums[i].Mul(&nums[i], &f3)
 
-		// (a + β·sσ1 + γ)(b + β·sσ2 + γ)(c + β·sσ3 + γ)
-		lbl := pk.sigmaLabel[i]
-		t.Mul(&beta, &lbl[0])
-		f1.Add(&aV[i], &t)
-		f1.Add(&f1, &gamma)
-		t.Mul(&beta, &lbl[1])
-		f2.Add(&bV[i], &t)
-		f2.Add(&f2, &gamma)
-		t.Mul(&beta, &lbl[2])
-		f3.Add(&cV[i], &t)
-		f3.Add(&f3, &gamma)
-		dens[i].Mul(&f1, &f2)
-		dens[i].Mul(&dens[i], &f3)
-	}
+			// (a + β·sσ1 + γ)(b + β·sσ2 + γ)(c + β·sσ3 + γ)
+			lbl := pk.sigmaLabel[i]
+			t.Mul(&beta, &lbl[0])
+			f1.Add(&aV[i], &t)
+			f1.Add(&f1, &gamma)
+			t.Mul(&beta, &lbl[1])
+			f2.Add(&bV[i], &t)
+			f2.Add(&f2, &gamma)
+			t.Mul(&beta, &lbl[2])
+			f3.Add(&cV[i], &t)
+			f3.Add(&f3, &gamma)
+			dens[i].Mul(&f1, &f2)
+			dens[i].Mul(&dens[i], &f3)
+		}
+	})
 	fr.BatchInvert(dens)
 	zV := make([]fr.Element, n)
 	zV[0] = fr.One()
@@ -215,11 +262,13 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	tr.AppendPoint("z", &proof.Z)
 	alpha := tr.ChallengeScalar("alpha")
 
-	// Round 3: quotient polynomial t over the 4n coset.
+	// Round 3: quotient polynomial t over the 4n coset (preprocessed on
+	// the proving key, so its twiddle and coset tables are shared across
+	// proofs).
 	big := 4 * n
-	domain4, err := poly.NewDomain(big)
+	domain4, err := coset4(pk)
 	if err != nil {
-		return nil, fmt.Errorf("plonk: %w", err)
+		return nil, err
 	}
 	// The 13 coset evaluations are independent FFTs; run them with a
 	// bounded worker pool.
@@ -229,32 +278,27 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 		pk.S1, pk.S2, pk.S3, piPoly,
 	}
 	cosetOutputs := make([][]fr.Element, len(cosetInputs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range cosetInputs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+	parallel.Execute(len(cosetInputs), func(start, end int) {
+		for i := start; i < end; i++ {
 			e := make([]fr.Element, big)
 			copy(e, cosetInputs[i])
 			domain4.FFTCoset(e)
 			cosetOutputs[i] = e
-		}(i)
-	}
-	wg.Wait()
+		}
+	})
 	aE, bE, cE, zE := cosetOutputs[0], cosetOutputs[1], cosetOutputs[2], cosetOutputs[3]
 	qlE, qrE, qoE, qmE, qcE := cosetOutputs[4], cosetOutputs[5], cosetOutputs[6], cosetOutputs[7], cosetOutputs[8]
 	s1E, s2E, s3E, piE := cosetOutputs[9], cosetOutputs[10], cosetOutputs[11], cosetOutputs[12]
 
 	// Coset points x_i = g·ω₄ⁱ, their Z_H values (period 4) and L1 values.
+	elems4 := domain4.Elements()
 	xs := make([]fr.Element, big)
 	shift := fr.NewElement(fr.MultiplicativeGenerator)
-	xs[0] = shift
-	for i := uint64(1); i < big; i++ {
-		xs[i].Mul(&xs[i-1], &domain4.Gen)
-	}
+	parallel.Execute(int(big), func(start, end int) {
+		for i := start; i < end; i++ {
+			xs[i].Mul(&elems4[i], &shift)
+		}
+	})
 	var gN fr.Element
 	gN.ExpUint64(&shift, n)
 	w4n := domain4.Element(n) // primitive 4th root of unity
@@ -271,78 +315,84 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	// L1(x) = Z_H(x) / (n·(x-1)).
 	l1Den := make([]fr.Element, big)
 	nEl := fr.NewElement(n)
-	for i := range l1Den {
-		l1Den[i].Sub(&xs[i], &one)
-		l1Den[i].Mul(&l1Den[i], &nEl)
-	}
+	parallel.Execute(int(big), func(start, end int) {
+		for i := start; i < end; i++ {
+			l1Den[i].Sub(&xs[i], &one)
+			l1Den[i].Mul(&l1Den[i], &nEl)
+		}
+	})
 	fr.BatchInvert(l1Den)
 
+	// The 4n quotient evaluations are independent; range-split them.
 	tEvals := make([]fr.Element, big)
-	for i := uint64(0); i < big; i++ {
-		var gate, t1, t2 fr.Element
-		// Gate constraint.
-		t1.Mul(&qmE[i], &aE[i])
-		t1.Mul(&t1, &bE[i])
-		gate.Add(&gate, &t1)
-		t1.Mul(&qlE[i], &aE[i])
-		gate.Add(&gate, &t1)
-		t1.Mul(&qrE[i], &bE[i])
-		gate.Add(&gate, &t1)
-		t1.Mul(&qoE[i], &cE[i])
-		gate.Add(&gate, &t1)
-		gate.Add(&gate, &qcE[i])
-		gate.Add(&gate, &piE[i])
+	parallel.Execute(int(big), func(start, end int) {
+		for ii := start; ii < end; ii++ {
+			i := uint64(ii)
+			var gate, t1, t2 fr.Element
+			// Gate constraint.
+			t1.Mul(&qmE[i], &aE[i])
+			t1.Mul(&t1, &bE[i])
+			gate.Add(&gate, &t1)
+			t1.Mul(&qlE[i], &aE[i])
+			gate.Add(&gate, &t1)
+			t1.Mul(&qrE[i], &bE[i])
+			gate.Add(&gate, &t1)
+			t1.Mul(&qoE[i], &cE[i])
+			gate.Add(&gate, &t1)
+			gate.Add(&gate, &qcE[i])
+			gate.Add(&gate, &piE[i])
 
-		// Permutation constraint.
-		var p1, p2, f fr.Element
-		t1.Mul(&beta, &xs[i])
-		f.Add(&aE[i], &t1)
-		f.Add(&f, &gamma)
-		p1 = f
-		t1.Mul(&beta, &xs[i])
-		t1.Mul(&t1, &k1)
-		f.Add(&bE[i], &t1)
-		f.Add(&f, &gamma)
-		p1.Mul(&p1, &f)
-		t1.Mul(&beta, &xs[i])
-		t1.Mul(&t1, &k2)
-		f.Add(&cE[i], &t1)
-		f.Add(&f, &gamma)
-		p1.Mul(&p1, &f)
-		p1.Mul(&p1, &zE[i])
+			// Permutation constraint.
+			var p1, p2, f fr.Element
+			t1.Mul(&beta, &xs[i])
+			f.Add(&aE[i], &t1)
+			f.Add(&f, &gamma)
+			p1 = f
+			t1.Mul(&beta, &xs[i])
+			t1.Mul(&t1, &k1)
+			f.Add(&bE[i], &t1)
+			f.Add(&f, &gamma)
+			p1.Mul(&p1, &f)
+			t1.Mul(&beta, &xs[i])
+			t1.Mul(&t1, &k2)
+			f.Add(&cE[i], &t1)
+			f.Add(&f, &gamma)
+			p1.Mul(&p1, &f)
+			p1.Mul(&p1, &zE[i])
 
-		t1.Mul(&beta, &s1E[i])
-		f.Add(&aE[i], &t1)
-		f.Add(&f, &gamma)
-		p2 = f
-		t1.Mul(&beta, &s2E[i])
-		f.Add(&bE[i], &t1)
-		f.Add(&f, &gamma)
-		p2.Mul(&p2, &f)
-		t1.Mul(&beta, &s3E[i])
-		f.Add(&cE[i], &t1)
-		f.Add(&f, &gamma)
-		p2.Mul(&p2, &f)
-		zOmegaI := zE[(i+4)%big]
-		p2.Mul(&p2, &zOmegaI)
+			t1.Mul(&beta, &s1E[i])
+			f.Add(&aE[i], &t1)
+			f.Add(&f, &gamma)
+			p2 = f
+			t1.Mul(&beta, &s2E[i])
+			f.Add(&bE[i], &t1)
+			f.Add(&f, &gamma)
+			p2.Mul(&p2, &f)
+			t1.Mul(&beta, &s3E[i])
+			f.Add(&cE[i], &t1)
+			f.Add(&f, &gamma)
+			p2.Mul(&p2, &f)
+			zOmegaI := zE[(i+4)%big]
+			p2.Mul(&p2, &zOmegaI)
 
-		var perm fr.Element
-		perm.Sub(&p1, &p2)
-		perm.Mul(&perm, &alpha)
+			var perm fr.Element
+			perm.Sub(&p1, &p2)
+			perm.Mul(&perm, &alpha)
 
-		// L1 boundary constraint: α²·L1(x)·(z(x) - 1).
-		var l1v fr.Element
-		l1v.Mul(&zh[i%4], &l1Den[i])
-		t2.Sub(&zE[i], &one)
-		l1v.Mul(&l1v, &t2)
-		l1v.Mul(&l1v, &alpha)
-		l1v.Mul(&l1v, &alpha)
+			// L1 boundary constraint: α²·L1(x)·(z(x) - 1).
+			var l1v fr.Element
+			l1v.Mul(&zh[i%4], &l1Den[i])
+			t2.Sub(&zE[i], &one)
+			l1v.Mul(&l1v, &t2)
+			l1v.Mul(&l1v, &alpha)
+			l1v.Mul(&l1v, &alpha)
 
-		var num fr.Element
-		num.Add(&gate, &perm)
-		num.Add(&num, &l1v)
-		tEvals[i].Mul(&num, &zhInv[i%4])
-	}
+			var num fr.Element
+			num.Add(&gate, &perm)
+			num.Add(&num, &l1v)
+			tEvals[i].Mul(&num, &zhInv[i%4])
+		}
+	})
 	tPoly := make(poly.Polynomial, big)
 	copy(tPoly, tEvals)
 	domain4.IFFTCoset(tPoly)
@@ -357,7 +407,7 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	tLo := poly.Polynomial(tPoly[:n])
 	tMid := poly.Polynomial(tPoly[n : 2*n])
 	tHi := poly.Polynomial(tPoly[2*n : 3*n+6])
-	if err = commitParallel(pk,
+	if err = commitParallel(pk.SRS,
 		[]poly.Polynomial{tLo, tMid, tHi},
 		[]*kzg.Commitment{&proof.TLo, &proof.TMid, &proof.THi}); err != nil {
 		return nil, err
@@ -367,43 +417,41 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	tr.AppendPoint("t_hi", &proof.THi)
 	zeta := tr.ChallengeScalar("zeta")
 
-	// Round 4: evaluations at ζ (and ζω for z).
+	// Round 4: evaluations at ζ (and ζω for z) — 16 independent Horner
+	// walks, run on the worker pool.
 	var zetaOmega fr.Element
 	zetaOmega.Mul(&zeta, &pk.Domain.Gen)
 	ev := &proof.Evals
-	ev.A = aPoly.Eval(&zeta)
-	ev.B = bPoly.Eval(&zeta)
-	ev.C = cPoly.Eval(&zeta)
-	ev.Z = zPoly.Eval(&zeta)
-	ev.ZOmega = zPoly.Eval(&zetaOmega)
-	ev.QL = pk.QL.Eval(&zeta)
-	ev.QR = pk.QR.Eval(&zeta)
-	ev.QO = pk.QO.Eval(&zeta)
-	ev.QM = pk.QM.Eval(&zeta)
-	ev.QC = pk.QC.Eval(&zeta)
-	ev.S1 = pk.S1.Eval(&zeta)
-	ev.S2 = pk.S2.Eval(&zeta)
-	ev.S3 = pk.S3.Eval(&zeta)
-	ev.TLo = tLo.Eval(&zeta)
-	ev.TMid = tMid.Eval(&zeta)
-	ev.THi = tHi.Eval(&zeta)
+	evalTasks := []struct {
+		p   poly.Polynomial
+		at  *fr.Element
+		out *fr.Element
+	}{
+		{aPoly, &zeta, &ev.A}, {bPoly, &zeta, &ev.B}, {cPoly, &zeta, &ev.C},
+		{zPoly, &zeta, &ev.Z}, {zPoly, &zetaOmega, &ev.ZOmega},
+		{pk.QL, &zeta, &ev.QL}, {pk.QR, &zeta, &ev.QR}, {pk.QO, &zeta, &ev.QO},
+		{pk.QM, &zeta, &ev.QM}, {pk.QC, &zeta, &ev.QC},
+		{pk.S1, &zeta, &ev.S1}, {pk.S2, &zeta, &ev.S2}, {pk.S3, &zeta, &ev.S3},
+		{tLo, &zeta, &ev.TLo}, {tMid, &zeta, &ev.TMid}, {tHi, &zeta, &ev.THi},
+	}
+	parallel.Execute(len(evalTasks), func(start, end int) {
+		for i := start; i < end; i++ {
+			*evalTasks[i].out = evalTasks[i].p.Eval(evalTasks[i].at)
+		}
+	})
 
 	tr.AppendScalars("evals", ev.evalList())
 	tr.AppendScalar("z_omega", &ev.ZOmega)
 	v := tr.ChallengeScalar("v")
 
 	// Round 5: batched opening at ζ, single opening of z at ζω.
-	folded := poly.Polynomial{}
-	coeff := fr.One()
-	for _, p := range []poly.Polynomial{
+	foldInputs := []poly.Polynomial{
 		aPoly, bPoly, cPoly, zPoly,
 		pk.QL, pk.QR, pk.QO, pk.QM, pk.QC,
 		pk.S1, pk.S2, pk.S3,
 		tLo, tMid, tHi,
-	} {
-		folded = poly.Add(folded, poly.MulScalar(p, &coeff))
-		coeff.Mul(&coeff, &v)
 	}
+	folded := foldPolys(foldInputs, fr.Powers(&v, len(foldInputs)))
 	wZeta, _ := poly.DivideByLinear(folded, &zeta)
 	if proof.WZeta, err = commit(wZeta); err != nil {
 		return nil, err

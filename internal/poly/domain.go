@@ -3,12 +3,24 @@ package poly
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/parallel"
 )
+
+// parallelFFTThreshold is the domain size below which transforms run fully
+// serially: goroutine startup and per-stage synchronisation cost more than
+// the butterflies they would save on small domains.
+const parallelFFTThreshold = 1 << 11
 
 // Domain is a multiplicative subgroup of Fr* of power-of-two order, used as
 // an FFT evaluation domain. All Plonk polynomials live on such a domain.
+//
+// Twiddle, element and coset-power tables are built lazily on first use and
+// cached for the lifetime of the domain, so repeated transforms (the Plonk
+// prover runs 20+ FFTs per proof over the same two domains) stop paying the
+// O(N) chained multiplications per call.
 type Domain struct {
 	// N is the domain size, a power of two.
 	N uint64
@@ -25,6 +37,20 @@ type Domain struct {
 	CosetShift fr.Element
 	// CosetShiftInv is g⁻¹.
 	CosetShiftInv fr.Element
+
+	// Lazily-built caches. The slices are shared across calls; callers
+	// must treat them as read-only.
+	twiddleOnce sync.Once
+	twiddleFwd  []fr.Element // ω^j for j < N/2
+	twiddleInv  []fr.Element // ω⁻ʲ for j < N/2
+
+	elemsOnce sync.Once
+	elems     []fr.Element // ω^i for i < N
+	elemsInv  []fr.Element // ω⁻ⁱ for i < N
+
+	cosetOnce   sync.Once
+	cosetPow    []fr.Element // g^i for i < N
+	cosetPowInv []fr.Element // g⁻ⁱ for i < N
 }
 
 // NewDomain returns the smallest domain of size ≥ n. It errors when n
@@ -67,14 +93,47 @@ func (d *Domain) Element(i uint64) fr.Element {
 	return out
 }
 
-// Elements returns all N domain elements ω^0 … ω^(N-1) in order.
+// buildElements populates the cached ω-power tables.
+func (d *Domain) buildElements() {
+	d.elemsOnce.Do(func() {
+		d.elems = fr.Powers(&d.Gen, int(d.N))
+		d.elemsInv = fr.Powers(&d.GenInv, int(d.N))
+	})
+}
+
+// Elements returns all N domain elements ω^0 … ω^(N-1) in order. The slice
+// is cached on the domain and shared across calls: callers must not modify
+// it.
 func (d *Domain) Elements() []fr.Element {
-	out := make([]fr.Element, d.N)
-	out[0] = fr.One()
-	for i := uint64(1); i < d.N; i++ {
-		out[i].Mul(&out[i-1], &d.Gen)
-	}
-	return out
+	d.buildElements()
+	return d.elems
+}
+
+// ElementsInv returns ω^0, ω⁻¹, …, ω^-(N-1) in order. Like Elements, the
+// returned slice is cached and must be treated as read-only.
+func (d *Domain) ElementsInv() []fr.Element {
+	d.buildElements()
+	return d.elemsInv
+}
+
+// twiddles returns the cached half-size twiddle tables (ω^j and ω⁻ʲ for
+// j < N/2); the butterfly at stage s, index j reads entry j·(N>>s).
+func (d *Domain) twiddles() (fwd, inv []fr.Element) {
+	d.twiddleOnce.Do(func() {
+		d.twiddleFwd = fr.Powers(&d.Gen, int(d.N/2))
+		d.twiddleInv = fr.Powers(&d.GenInv, int(d.N/2))
+	})
+	return d.twiddleFwd, d.twiddleInv
+}
+
+// cosetPowers returns the cached tables of coset-shift powers g^i and g⁻ⁱ
+// for i < N.
+func (d *Domain) cosetPowers() (fwd, inv []fr.Element) {
+	d.cosetOnce.Do(func() {
+		d.cosetPow = fr.Powers(&d.CosetShift, int(d.N))
+		d.cosetPowInv = fr.Powers(&d.CosetShiftInv, int(d.N))
+	})
+	return d.cosetPow, d.cosetPowInv
 }
 
 // VanishingEval returns Z_H(x) = x^N - 1.
@@ -105,25 +164,22 @@ func (d *Domain) LagrangeEval(i uint64, x *fr.Element) fr.Element {
 // FFT transforms coefficients to evaluations over the domain, in place.
 // a must have length N.
 func (d *Domain) FFT(a []fr.Element) {
-	d.fft(a, &d.Gen)
+	fwd, _ := d.twiddles()
+	d.fft(a, fwd, parallel.Workers())
 }
 
 // IFFT transforms evaluations over the domain back to coefficients,
 // in place. a must have length N.
 func (d *Domain) IFFT(a []fr.Element) {
-	d.fft(a, &d.GenInv)
-	for i := range a {
-		a[i].Mul(&a[i], &d.NInv)
-	}
+	_, inv := d.twiddles()
+	d.fft(a, inv, parallel.Workers())
+	mulScalarInPlace(a, &d.NInv)
 }
 
 // FFTCoset evaluates the polynomial over the coset g·H, in place.
 func (d *Domain) FFTCoset(a []fr.Element) {
-	shift := fr.One()
-	for i := range a {
-		a[i].Mul(&a[i], &shift)
-		shift.Mul(&shift, &d.CosetShift)
-	}
+	fwd, _ := d.cosetPowers()
+	mulVecInPlace(a, fwd)
 	d.FFT(a)
 }
 
@@ -131,16 +187,54 @@ func (d *Domain) FFTCoset(a []fr.Element) {
 // coefficients, in place.
 func (d *Domain) IFFTCoset(a []fr.Element) {
 	d.IFFT(a)
-	shift := fr.One()
-	for i := range a {
-		a[i].Mul(&a[i], &shift)
-		shift.Mul(&shift, &d.CosetShiftInv)
+	_, inv := d.cosetPowers()
+	mulVecInPlace(a, inv)
+}
+
+// mulScalarInPlace sets a[i] *= c for all i, splitting large inputs across
+// workers.
+func mulScalarInPlace(a []fr.Element, c *fr.Element) {
+	if len(a) < parallelFFTThreshold {
+		for i := range a {
+			a[i].Mul(&a[i], c)
+		}
+		return
 	}
+	parallel.Execute(len(a), func(start, end int) {
+		for i := start; i < end; i++ {
+			a[i].Mul(&a[i], c)
+		}
+	})
+}
+
+// mulVecInPlace sets a[i] *= b[i] for all i, splitting large inputs across
+// workers.
+func mulVecInPlace(a, b []fr.Element) {
+	if len(a) < parallelFFTThreshold {
+		for i := range a {
+			a[i].Mul(&a[i], &b[i])
+		}
+		return
+	}
+	parallel.Execute(len(a), func(start, end int) {
+		for i := start; i < end; i++ {
+			a[i].Mul(&a[i], &b[i])
+		}
+	})
 }
 
 // fft is an in-place iterative radix-2 Cooley–Tukey transform with
-// bit-reversal reordering, using root w as the primitive N-th root.
-func (d *Domain) fft(a []fr.Element, w *fr.Element) {
+// bit-reversal reordering. tw is the half-size twiddle table for the
+// transform direction (tw[j] = root^j, j < N/2).
+//
+// Parallelisation: in early stages the row is made of many independent
+// blocks, which are split across workers block-wise; in the final stages
+// (few blocks, long butterfly runs) the butterfly index range inside each
+// block is split instead. Every butterfly writes the same two slots it
+// reads and each output element is produced by the same multiply/add
+// sequence as the serial transform, so the result is bit-identical for any
+// worker count.
+func (d *Domain) fft(a []fr.Element, tw []fr.Element, workers int) {
 	n := uint64(len(a))
 	if n != d.N {
 		panic(fmt.Sprintf("poly: fft input length %d != domain size %d", n, d.N))
@@ -148,7 +242,82 @@ func (d *Domain) fft(a []fr.Element, w *fr.Element) {
 	if n == 1 {
 		return
 	}
-	// Bit-reversal permutation.
+	serial := workers <= 1 || n < parallelFFTThreshold
+	bitReversePermute(a, d.Log, serial)
+	for s := 1; s <= d.Log; s++ {
+		m := uint64(1) << s
+		half := m >> 1
+		stride := n >> s
+		if serial {
+			for k := uint64(0); k < n; k += m {
+				butterflyRange(a, tw, k, half, stride, 0, half)
+			}
+			continue
+		}
+		if blocks := n / m; blocks >= uint64(workers) {
+			parallel.ExecuteWorkers(int(blocks), workers, func(bs, be int) {
+				for b := bs; b < be; b++ {
+					k := uint64(b) * m
+					butterflyRange(a, tw, k, half, stride, 0, half)
+				}
+			})
+		} else {
+			for k := uint64(0); k < n; k += m {
+				parallel.ExecuteWorkers(int(half), workers, func(js, je int) {
+					butterflyRange(a, tw, k, half, stride, uint64(js), uint64(je))
+				})
+			}
+		}
+	}
+}
+
+// butterflyRange applies the stage butterflies for indices j ∈ [j0, j1)
+// of the block starting at k: (a[k+j], a[k+j+half]) ←
+// (a[k+j] + ω^(j·stride)·a[k+j+half], a[k+j] - ω^(j·stride)·a[k+j+half]).
+func butterflyRange(a, tw []fr.Element, k, half, stride, j0, j1 uint64) {
+	for j := j0; j < j1; j++ {
+		idx := k + j
+		a[idx+half].Mul(&a[idx+half], &tw[j*stride])
+		fr.Butterfly(&a[idx], &a[idx+half])
+	}
+}
+
+// bitReversePermute applies the bit-reversal reordering. Each swap pair
+// (i, rev(i)) is executed exactly once, by the smaller index, so the
+// parallel split over i is race-free.
+func bitReversePermute(a []fr.Element, log int, serial bool) {
+	n := uint64(len(a))
+	shift := 64 - uint(log)
+	if serial {
+		for i := uint64(0); i < n; i++ {
+			j := bits.Reverse64(i) >> shift
+			if i < j {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+		return
+	}
+	parallel.Execute(int(n), func(start, end int) {
+		for i := uint64(start); i < uint64(end); i++ {
+			j := bits.Reverse64(i) >> shift
+			if i < j {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	})
+}
+
+// fftSerialReference is the original fully-serial transform with twiddles
+// recomputed by chained multiplication, retained as the bit-exact reference
+// the property tests compare the table-driven parallel transform against.
+func (d *Domain) fftSerialReference(a []fr.Element, w *fr.Element) {
+	n := uint64(len(a))
+	if n != d.N {
+		panic(fmt.Sprintf("poly: fft input length %d != domain size %d", n, d.N))
+	}
+	if n == 1 {
+		return
+	}
 	shift := 64 - uint(d.Log)
 	for i := uint64(0); i < n; i++ {
 		j := bits.Reverse64(i) >> shift
@@ -156,8 +325,6 @@ func (d *Domain) fft(a []fr.Element, w *fr.Element) {
 			a[i], a[j] = a[j], a[i]
 		}
 	}
-	// Precompute stage roots: w^(N/2), w^(N/4), ... by repeated squaring
-	// from w: rootOfStage(s) = w^(N / 2^s) for stage size 2^s.
 	stageRoot := make([]fr.Element, d.Log+1)
 	stageRoot[d.Log] = *w
 	for s := d.Log - 1; s >= 1; s-- {

@@ -1,0 +1,75 @@
+package poly
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// benchFFTSizes are the domain sizes the BENCH trajectories track.
+var benchFFTSizes = []int{10, 12, 14, 16}
+
+func BenchmarkFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, logN := range benchFFTSizes {
+		n := uint64(1) << logN
+		d, err := NewDomain(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := randVec(rng, n)
+		d.FFT(append([]fr.Element(nil), in...)) // warm the twiddle cache
+		b.Run(fmt.Sprintf("2^%d", logN), func(b *testing.B) {
+			a := make([]fr.Element, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(a, in)
+				d.FFT(a)
+			}
+		})
+	}
+}
+
+func BenchmarkIFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, logN := range benchFFTSizes {
+		n := uint64(1) << logN
+		d, err := NewDomain(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := randVec(rng, n)
+		d.IFFT(append([]fr.Element(nil), in...))
+		b.Run(fmt.Sprintf("2^%d", logN), func(b *testing.B) {
+			a := make([]fr.Element, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(a, in)
+				d.IFFT(a)
+			}
+		})
+	}
+}
+
+func BenchmarkFFTCoset(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, logN := range benchFFTSizes {
+		n := uint64(1) << logN
+		d, err := NewDomain(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := randVec(rng, n)
+		d.FFTCoset(append([]fr.Element(nil), in...))
+		b.Run(fmt.Sprintf("2^%d", logN), func(b *testing.B) {
+			a := make([]fr.Element, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(a, in)
+				d.FFTCoset(a)
+			}
+		})
+	}
+}

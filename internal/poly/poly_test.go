@@ -257,35 +257,6 @@ func TestQuickMulCommutes(t *testing.T) {
 	}
 }
 
-func BenchmarkFFT(b *testing.B) {
-	for _, logN := range []int{10, 14, 16} {
-		d, err := NewDomain(1 << logN)
-		if err != nil {
-			b.Fatal(err)
-		}
-		a := randPoly(int(d.N))
-		b.Run(itoa(1<<logN), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				d.FFT(a)
-			}
-		})
-	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
-}
-
 func TestQuickDivideByLinearConsistent(t *testing.T) {
 	prop := func(a, b, c, z uint64) bool {
 		p := Polynomial{fr.NewElement(a), fr.NewElement(b), fr.NewElement(c)}
