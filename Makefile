@@ -4,10 +4,12 @@
 
 GO ?= go
 
-# Packages that spawn worker pools; these get the race detector.
-RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/...
+# Packages that spawn worker pools or serve concurrent clients; these get
+# the race detector.
+RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
+	./internal/chain/... ./internal/node/... ./internal/indexer/...
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench node-demo
 
 check: vet build test race
 
@@ -28,3 +30,8 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkFFT$$|BenchmarkG1MSM$$|BenchmarkCommit$$|BenchmarkProve$$' -benchmem \
 		./internal/poly/ ./internal/bn254/ ./internal/kzg/ ./internal/plonk/
+
+# Boot the node daemon in-process and drive 100 concurrent clients through
+# full exchange lifecycles over HTTP JSON-RPC; prints tx/s and p50/p99.
+node-demo:
+	$(GO) run ./cmd/zkdet-node load -clients 100

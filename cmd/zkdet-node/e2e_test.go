@@ -1,0 +1,243 @@
+package main
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zkdet/zkdet/internal/contracts"
+)
+
+// bootServer starts an in-process daemon behind an httptest listener.
+func bootServer(t *testing.T, cfg serverConfig) (*server, *rpcClient) {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.close()
+	})
+	return srv, newRPCClient(ts.URL)
+}
+
+func testCfg() serverConfig {
+	cfg := defaultServerConfig()
+	cfg.node.BlockInterval = 5 * time.Millisecond
+	cfg.node.MaxBlockTxs = 64
+	return cfg
+}
+
+func TestGatewayBasics(t *testing.T) {
+	_, c := bootServer(t, testCfg())
+
+	// Unknown method and malformed params come back as JSON-RPC errors.
+	if err := c.call("zkdet_nope", map[string]any{}, nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if err := c.call("zkdet_receipt", map[string]any{"txHash": "0xzz"}, nil); err == nil {
+		t.Fatal("bad hash accepted")
+	}
+
+	// Faucet then a plain value transfer through the full pipeline.
+	if err := c.call("zkdet_faucet", map[string]any{"address": "alice", "amount": 10_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.sendWait(txParams{From: "alice", To: "bob", Value: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Included || res.BlockNumber == 0 {
+		t.Fatalf("not included: %+v", res)
+	}
+
+	// The receipt endpoint agrees with what sendTransaction returned.
+	var rec txResult
+	if err := c.call("zkdet_receipt", map[string]any{"txHash": res.TxHash}, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.BlockNumber != res.BlockNumber {
+		t.Fatalf("receipt block %d, send block %d", rec.BlockNumber, res.BlockNumber)
+	}
+
+	var height struct {
+		Height uint64 `json:"height"`
+	}
+	if err := c.call("zkdet_blockNumber", map[string]any{}, &height); err != nil {
+		t.Fatal(err)
+	}
+	if height.Height < res.BlockNumber {
+		t.Fatalf("height %d < inclusion block %d", height.Height, res.BlockNumber)
+	}
+
+	// Transfers with value but no recipient are rejected at execution.
+	bad, err := c.sendWait(txParams{From: "alice", Value: 5})
+	if err == nil && bad.Reverted == "" {
+		t.Fatal("zero-recipient transfer accepted")
+	}
+}
+
+func TestGatewayStorageRoundTrip(t *testing.T) {
+	_, c := bootServer(t, testCfg())
+	blob := []byte("ciphertext bytes")
+	var put struct {
+		URI string `json:"uri"`
+	}
+	if err := c.call("zkdet_storagePut", map[string]any{"owner": "alice", "data": hexBytes(blob)}, &put); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Data string `json:"data"`
+	}
+	if err := c.call("zkdet_storageGet", map[string]any{"uri": put.URI}, &got); err != nil {
+		t.Fatal(err)
+	}
+	back, err := parseBytes(got.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(blob) {
+		t.Fatalf("storage round trip: %q", back)
+	}
+}
+
+func TestGatewayEventsQuery(t *testing.T) {
+	_, c := bootServer(t, testCfg())
+	if err := c.call("zkdet_faucet", map[string]any{"address": "alice", "amount": 1 << 30}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.sendWait(txParams{
+		From: "alice", Contract: contracts.DataNFTName, Method: "mint",
+		Args: hexBytes(contracts.EncodeArgs([]byte("u"), []byte("c"))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := contracts.DecU64(mustParse(t, res.Return))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs struct {
+		Entries []eventOut `json:"entries"`
+		Total   int        `json:"total"`
+	}
+	if err := c.call("zkdet_events", map[string]any{
+		"contract": contracts.DataNFTName, "name": "Transfer",
+		"topic": hexBytes(contracts.U64(id)),
+	}, &evs); err != nil {
+		t.Fatal(err)
+	}
+	if evs.Total != 1 || len(evs.Entries) != 1 || evs.Entries[0].TxHash != res.TxHash {
+		t.Fatalf("events query: %+v", evs)
+	}
+}
+
+func mustParse(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := parseBytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestE2EHundredClients is the acceptance run: ≥100 concurrent clients each
+// drive a complete exchange lifecycle through the HTTP JSON-RPC gateway —
+// mint, duplicate, escrow open, settle (real on-chain Plonk verification of
+// the shared π_k), NFT transfer — then verify the provenance lineage the
+// indexer reports against what they actually did.
+func TestE2EHundredClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e load test")
+	}
+	srv, c := bootServer(t, testCfg())
+
+	fx, err := buildFixture(srv.mkt.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 100
+	report, err := runLoad(c.url, fx, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Provenance != clients {
+		t.Fatalf("provenance verified for %d/%d clients", report.Provenance, clients)
+	}
+	const txPerClient = 5 // mint, duplicate, open, settle, transfer
+	if report.Txs != clients*txPerClient {
+		t.Fatalf("clients waited on %d txs, want %d", report.Txs, clients*txPerClient)
+	}
+	if report.P50 == 0 || report.P99 < report.P50 {
+		t.Fatalf("latency percentiles: p50=%s p99=%s", report.P50, report.P99)
+	}
+
+	s := srv.node.Stats()
+	if s.TxsIncluded != clients*txPerClient {
+		t.Fatalf("node included %d txs, want %d", s.TxsIncluded, clients*txPerClient)
+	}
+	if s.PoolSize != 0 {
+		t.Fatalf("pool not drained: %d", s.PoolSize)
+	}
+	ixs := srv.ix.Stats()
+	if ixs.Tokens != clients*2 {
+		t.Fatalf("indexer tracked %d tokens, want %d", ixs.Tokens, clients*2)
+	}
+	t.Logf("e2e: %s", report)
+}
+
+// TestE2EClientsShareNode checks the gateway under mixed read/write load:
+// while exchange clients run, reader goroutines hammer stats and events.
+func TestE2EClientsShareNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e load test")
+	}
+	srv, c := bootServer(t, testCfg())
+	fx, err := buildFixture(srv.mkt.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			rc := newRPCClient(c.url)
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				var stats map[string]any
+				if err := rc.call("zkdet_stats", map[string]any{}, &stats); err != nil {
+					t.Errorf("stats during load: %v", err)
+					return
+				}
+				var evs struct {
+					Total int `json:"total"`
+				}
+				if err := rc.call("zkdet_events", map[string]any{
+					"contract": contracts.DataNFTName, "name": "Transfer", "limit": 5,
+				}, &evs); err != nil {
+					t.Errorf("events during load: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	report, err := runLoad(c.url, fx, 16)
+	close(stopReaders)
+	readers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Provenance != 16 {
+		t.Fatalf("provenance verified for %d/16", report.Provenance)
+	}
+}

@@ -1,0 +1,467 @@
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/indexer"
+	"github.com/zkdet/zkdet/internal/node"
+	"github.com/zkdet/zkdet/internal/storage"
+)
+
+// gateway is the JSON-RPC 2.0 endpoint (POST /) of the node daemon.
+//
+// Methods:
+//
+//	zkdet_sendTransaction  submit a tx; wait=true blocks until sealed
+//	zkdet_receipt          receipt + block number by tx hash
+//	zkdet_blockNumber      current chain height
+//	zkdet_events           indexed event query with topic/range/pagination
+//	zkdet_provenance       lineage DAG of a token
+//	zkdet_exchange         folded escrow exchange record
+//	zkdet_stats            node + indexer counters
+//	zkdet_faucet           credit an address (devnet only)
+//	zkdet_nextNonce        next pool-assigned nonce for an address
+//	zkdet_storagePut       store a blob, returns its URI
+//	zkdet_storageGet       fetch a blob by URI
+type gateway struct {
+	srv *server
+}
+
+// JSON-RPC error codes (the standard ones plus one server range).
+const (
+	codeParse      = -32700
+	codeBadRequest = -32600
+	codeNoMethod   = -32601
+	codeBadParams  = -32602
+	codeExecution  = -32000
+)
+
+type rpcRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params"`
+}
+
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  any             `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req rpcRequest
+	resp := rpcResponse{JSONRPC: "2.0"}
+	if err := json.Unmarshal(body, &req); err != nil {
+		resp.Error = &rpcError{Code: codeParse, Message: err.Error()}
+	} else {
+		resp.ID = req.ID
+		result, rerr := g.dispatch(r, &req)
+		if rerr != nil {
+			resp.Error = rerr
+		} else {
+			resp.Result = result
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+func (g *gateway) dispatch(r *http.Request, req *rpcRequest) (any, *rpcError) {
+	switch req.Method {
+	case "zkdet_sendTransaction":
+		return g.sendTransaction(r, req.Params)
+	case "zkdet_receipt":
+		return g.receipt(req.Params)
+	case "zkdet_blockNumber":
+		return map[string]uint64{"height": g.srv.mkt.Chain.Height()}, nil
+	case "zkdet_events":
+		return g.events(req.Params)
+	case "zkdet_provenance":
+		return g.provenance(req.Params)
+	case "zkdet_exchange":
+		return g.exchange(req.Params)
+	case "zkdet_stats":
+		return g.stats(), nil
+	case "zkdet_faucet":
+		return g.faucet(req.Params)
+	case "zkdet_nextNonce":
+		return g.nextNonce(req.Params)
+	case "zkdet_storagePut":
+		return g.storagePut(req.Params)
+	case "zkdet_storageGet":
+		return g.storageGet(req.Params)
+	default:
+		return nil, &rpcError{Code: codeNoMethod, Message: fmt.Sprintf("unknown method %q", req.Method)}
+	}
+}
+
+// --- wire helpers ---
+
+// parseAddr accepts a 0x-prefixed hex address or a human label (hashed the
+// way chain.AddressFromString does), so load tools can say "alice".
+func parseAddr(s string) (chain.Address, error) {
+	if s == "" {
+		return chain.Address{}, nil
+	}
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		return chain.AddressFromHex(s)
+	}
+	return chain.AddressFromString(s), nil
+}
+
+func parseBytes(s string) ([]byte, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	return hex.DecodeString(s)
+}
+
+func hexBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return "0x" + hex.EncodeToString(b)
+}
+
+func badParams(err error) *rpcError {
+	return &rpcError{Code: codeBadParams, Message: err.Error()}
+}
+
+func decodeParams(raw json.RawMessage, into any) *rpcError {
+	if len(raw) == 0 {
+		return &rpcError{Code: codeBadParams, Message: "missing params"}
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return badParams(err)
+	}
+	return nil
+}
+
+// --- transactions ---
+
+type txParams struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Contract  string `json:"contract"`
+	Method    string `json:"method"`
+	Args      string `json:"args"` // hex
+	Value     uint64 `json:"value"`
+	Nonce     uint64 `json:"nonce"`
+	GasLimit  uint64 `json:"gasLimit"`
+	AutoNonce bool   `json:"autoNonce"`
+	Wait      bool   `json:"wait"`
+}
+
+type txResult struct {
+	TxHash      string     `json:"txHash"`
+	Included    bool       `json:"included"`
+	BlockNumber uint64     `json:"blockNumber,omitempty"`
+	GasUsed     uint64     `json:"gasUsed,omitempty"`
+	Return      string     `json:"return,omitempty"`
+	Reverted    string     `json:"reverted,omitempty"`
+	Logs        []eventOut `json:"logs,omitempty"`
+}
+
+type eventOut struct {
+	Contract string `json:"contract"`
+	Name     string `json:"name"`
+	Topic    string `json:"topic,omitempty"`
+	Data     string `json:"data,omitempty"`
+	Block    uint64 `json:"block,omitempty"`
+	TxHash   string `json:"txHash,omitempty"`
+}
+
+func eventsOut(block uint64, txHash string, evs []chain.Event) []eventOut {
+	out := make([]eventOut, len(evs))
+	for i, ev := range evs {
+		out[i] = eventOut{
+			Contract: ev.Contract, Name: ev.Name,
+			Topic: hexBytes(ev.Topic), Data: hexBytes(ev.Data),
+			Block: block, TxHash: txHash,
+		}
+	}
+	return out
+}
+
+func (g *gateway) sendTransaction(r *http.Request, raw json.RawMessage) (any, *rpcError) {
+	var p txParams
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	from, err := parseAddr(p.From)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	to, err := parseAddr(p.To)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	args, err := parseBytes(p.Args)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	tx := chain.Transaction{
+		From: from, To: to, Contract: p.Contract, Method: p.Method,
+		Args: args, Value: p.Value, Nonce: p.Nonce, GasLimit: p.GasLimit,
+	}
+	if !p.Wait {
+		h, err := g.srv.node.Submit(tx)
+		if err != nil {
+			return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+		}
+		return &txResult{TxHash: h.String()}, nil
+	}
+	res, err := g.srv.node.SubmitAndWait(r.Context(), tx, p.AutoNonce)
+	if err != nil {
+		// Execution-level rejections (revert, bad nonce at execution) carry
+		// the tx hash; admission failures do not.
+		if res.TxHash != (chain.Hash{}) && !errors.Is(err, node.ErrWaitCanceled) {
+			return &txResult{TxHash: res.TxHash.String(), Reverted: err.Error()}, nil
+		}
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	out := &txResult{
+		TxHash:      res.TxHash.String(),
+		Included:    true,
+		BlockNumber: res.BlockNumber,
+	}
+	if rc := res.Receipt; rc != nil {
+		out.GasUsed = rc.GasUsed
+		out.Return = hexBytes(rc.Return)
+		out.Logs = eventsOut(res.BlockNumber, res.TxHash.String(), rc.Logs)
+		if rc.Err != nil {
+			out.Reverted = rc.Err.Error()
+		}
+	}
+	return out, nil
+}
+
+func (g *gateway) receipt(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		TxHash string `json:"txHash"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	h, err := chain.HashFromHex(p.TxHash)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	rc, ok := g.srv.mkt.Chain.Receipt(h)
+	if !ok {
+		return nil, &rpcError{Code: codeExecution, Message: "unknown transaction"}
+	}
+	block, _ := g.srv.ix.TxBlock(h)
+	out := &txResult{
+		TxHash: h.String(), Included: true, BlockNumber: block,
+		GasUsed: rc.GasUsed, Return: hexBytes(rc.Return),
+		Logs: eventsOut(block, h.String(), rc.Logs),
+	}
+	if rc.Err != nil {
+		out.Reverted = rc.Err.Error()
+	}
+	return out, nil
+}
+
+// --- queries ---
+
+type eventsParams struct {
+	Contract  string `json:"contract"`
+	Name      string `json:"name"`
+	Topic     string `json:"topic"`
+	FromBlock uint64 `json:"fromBlock"`
+	ToBlock   uint64 `json:"toBlock"`
+	Offset    int    `json:"offset"`
+	Limit     int    `json:"limit"`
+}
+
+func (g *gateway) events(raw json.RawMessage) (any, *rpcError) {
+	var p eventsParams
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	topic, err := parseBytes(p.Topic)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	entries, total, err := g.srv.ix.Query(indexer.Filter{
+		Contract: p.Contract, Name: p.Name, Topic: topic,
+		FromBlock: p.FromBlock, ToBlock: p.ToBlock,
+		Offset: p.Offset, Limit: p.Limit,
+	})
+	if err != nil {
+		return nil, badParams(err)
+	}
+	out := make([]eventOut, len(entries))
+	for i, e := range entries {
+		out[i] = eventsOut(e.Block, e.TxHash.String(), []chain.Event{e.Event})[0]
+	}
+	return map[string]any{"entries": out, "total": total}, nil
+}
+
+type tokenOut struct {
+	ID       uint64   `json:"id"`
+	Kind     string   `json:"kind"`
+	Owner    string   `json:"owner"`
+	Parents  []uint64 `json:"parents,omitempty"`
+	Children []uint64 `json:"children,omitempty"`
+	Burned   bool     `json:"burned,omitempty"`
+}
+
+func (g *gateway) provenance(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		TokenID uint64 `json:"tokenId"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	lin, err := g.srv.ix.Lineage(p.TokenID)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	tokens := make([]tokenOut, len(lin.Tokens))
+	for i, t := range lin.Tokens {
+		tokens[i] = tokenOut{
+			ID: t.ID, Kind: t.Kind.String(), Owner: t.Owner.String(),
+			Parents: t.Parents, Children: t.Children, Burned: t.Burned,
+		}
+	}
+	edges := make([][2]uint64, len(lin.Edges))
+	for i, e := range lin.Edges {
+		edges[i] = [2]uint64{e.Parent, e.Child}
+	}
+	return map[string]any{"tokens": tokens, "edges": edges}, nil
+}
+
+func (g *gateway) exchange(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		ID uint64 `json:"id"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	rec, err := g.srv.ix.Exchange(p.ID)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return map[string]any{
+		"id": rec.ID, "seller": rec.Seller.String(), "status": rec.Status,
+		"value": rec.Value, "kc": hexBytes(rec.KC), "hv": hexBytes(rec.HV),
+	}, nil
+}
+
+func (g *gateway) stats() any {
+	ns := g.srv.node.Stats()
+	is := g.srv.ix.Stats()
+	return map[string]any{
+		"height": g.srv.mkt.Chain.Height(),
+		"node": map[string]any{
+			"poolSize": ns.PoolSize, "admitted": ns.Admitted,
+			"rejected": ns.Rejected, "evicted": ns.Evicted,
+			"blocksSealed": ns.BlocksSealed, "txsIncluded": ns.TxsIncluded,
+			"latencyP50Ms": float64(ns.LatencyP50.Microseconds()) / 1000,
+			"latencyP99Ms": float64(ns.LatencyP99.Microseconds()) / 1000,
+		},
+		"indexer": map[string]any{
+			"blocks": is.Blocks, "events": is.Events, "txs": is.Txs,
+			"tokens": is.Tokens, "keys": is.Keys,
+		},
+	}
+}
+
+func (g *gateway) faucet(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		Address string `json:"address"`
+		Amount  uint64 `json:"amount"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	a, err := parseAddr(p.Address)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	g.srv.mkt.Chain.Faucet(a, p.Amount)
+	return map[string]any{"address": a.String(), "balance": g.srv.mkt.Chain.BalanceOf(a)}, nil
+}
+
+func (g *gateway) nextNonce(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		Address string `json:"address"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	a, err := parseAddr(p.Address)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	return map[string]uint64{"nonce": g.srv.node.NextNonce(a)}, nil
+}
+
+func (g *gateway) storagePut(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		Owner string `json:"owner"`
+		Data  string `json:"data"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	data, err := parseBytes(p.Data)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	uri, err := g.srv.mkt.Store.Put(p.Owner, data)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return map[string]string{"uri": hexBytes(uri[:])}, nil
+}
+
+func (g *gateway) storageGet(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		URI string `json:"uri"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	raw2, err := parseBytes(p.URI)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	var uri storage.URI
+	if len(raw2) != len(uri) {
+		return nil, badParams(fmt.Errorf("uri must be %d bytes", len(uri)))
+	}
+	copy(uri[:], raw2)
+	data, err := g.srv.mkt.Store.Get(uri)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return map[string]string{"data": hexBytes(data)}, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"github.com/zkdet/zkdet/internal/core"
+	"github.com/zkdet/zkdet/internal/indexer"
+	"github.com/zkdet/zkdet/internal/node"
+)
+
+// serverConfig tunes one daemon instance.
+type serverConfig struct {
+	storageNodes int
+	srsSize      int
+	node         node.Config
+}
+
+func defaultServerConfig() serverConfig {
+	return serverConfig{
+		storageNodes: 8,
+		// Large enough for the π_k circuit the escrow verifier checks.
+		srsSize: 1 << 12,
+		node:    node.DefaultConfig(),
+	}
+}
+
+// server is a running ZKDET node: the deployed marketplace, the block
+// producer, the event indexer, and the HTTP JSON-RPC gateway over them.
+type server struct {
+	mkt  *core.Marketplace
+	node *node.Node
+	ix   *indexer.Indexer
+	http *http.Server
+	lis  net.Listener
+}
+
+// newServer deploys a fresh chain + contract suite and starts the block
+// producer. It does not listen yet; call listen or serve the handler
+// directly (tests use httptest).
+func newServer(cfg serverConfig) (*server, error) {
+	sys, err := core.NewTestSystem(cfg.srsSize)
+	if err != nil {
+		return nil, fmt.Errorf("proof system setup: %w", err)
+	}
+	mkt, _, err := core.NewMarketplace(sys, cfg.storageNodes)
+	if err != nil {
+		return nil, fmt.Errorf("deploying marketplace: %w", err)
+	}
+	ix := mkt.AttachIndexer()
+	n := node.New(mkt.Chain, cfg.node)
+	n.Start()
+	return &server{mkt: mkt, node: n, ix: ix}, nil
+}
+
+// handler returns the JSON-RPC gateway handler.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", &gateway{srv: s})
+	return mux
+}
+
+// listen binds the gateway to addr and serves until close.
+func (s *server) listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.http = &http.Server{Handler: s.handler()}
+	go func() { _ = s.http.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+// close stops the HTTP server (if listening) and the block producer.
+func (s *server) close() {
+	if s.http != nil {
+		_ = s.http.Close()
+	}
+	s.node.Stop()
+}

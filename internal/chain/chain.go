@@ -13,8 +13,10 @@ package chain
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -22,8 +24,42 @@ import (
 // Address identifies an account (20 bytes, Ethereum-style).
 type Address [20]byte
 
+// String returns the 0x-prefixed hex form of the address.
+func (a Address) String() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// AddressFromHex parses a 0x-prefixed (or bare) hex address.
+func AddressFromHex(s string) (Address, error) {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	var a Address
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(a) {
+		return Address{}, fmt.Errorf("chain: bad address %q", s)
+	}
+	copy(a[:], raw)
+	return a, nil
+}
+
 // Hash is a 32-byte digest.
 type Hash [32]byte
+
+// String returns the 0x-prefixed hex form of the hash.
+func (h Hash) String() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// HashFromHex parses a 0x-prefixed (or bare) hex hash.
+func HashFromHex(s string) (Hash, error) {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	var h Hash
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(h) {
+		return Hash{}, fmt.Errorf("chain: bad hash %q", s)
+	}
+	copy(h[:], raw)
+	return h, nil
+}
 
 // AddressFromString derives a deterministic address from a label; handy for
 // tests and examples.
@@ -34,17 +70,21 @@ func AddressFromString(s string) Address {
 	return a
 }
 
-// Event is a contract log entry.
+// Event is a contract log entry. Topic is an optional indexed key (the
+// EVM's topic1, e.g. a token or exchange id) that off-chain indexers use to
+// build inverted indexes; Data stays opaque.
 type Event struct {
 	Contract string
 	Name     string
+	Topic    []byte
 	Data     []byte
 }
 
 // Transaction is a contract call or value transfer recorded on chain.
 type Transaction struct {
 	From     Address
-	Contract string // registered contract name; empty for pure transfers
+	To       Address // recipient of a plain value transfer; unused for contract calls
+	Contract string  // registered contract name; empty for pure transfers
 	Method   string
 	Args     []byte
 	Value    uint64
@@ -52,9 +92,13 @@ type Transaction struct {
 	GasLimit uint64
 }
 
+// Hash returns the transaction's content digest.
+func (tx *Transaction) Hash() Hash { return tx.hash() }
+
 func (tx *Transaction) hash() Hash {
 	h := sha256.New()
 	h.Write(tx.From[:])
+	h.Write(tx.To[:])
 	h.Write([]byte(tx.Contract))
 	h.Write([]byte{0})
 	h.Write([]byte(tx.Method))
@@ -111,6 +155,7 @@ var (
 	ErrBadNonce         = errors.New("chain: bad nonce")
 	ErrDuplicateName    = errors.New("chain: contract name already deployed")
 	ErrReverted         = errors.New("chain: execution reverted")
+	ErrNoRecipient      = errors.New("chain: value transfer to zero address")
 )
 
 // Contract is the interface native-Go contracts implement.
@@ -134,10 +179,21 @@ type CallContext struct {
 
 // Emit records an event, charging log gas.
 func (ctx *CallContext) Emit(name string, data []byte) error {
-	if err := ctx.Gas.Charge(GasLogBase + GasLogTopic + uint64(len(data))*GasLogDataByte); err != nil {
+	return ctx.EmitIndexed(name, nil, data)
+}
+
+// EmitIndexed records an event with an indexed topic (the EVM's topic1,
+// e.g. a token id), charging log gas; the event name is topic0 and is
+// always charged, an explicit topic charges one more.
+func (ctx *CallContext) EmitIndexed(name string, topic, data []byte) error {
+	cost := GasLogBase + GasLogTopic + uint64(len(data))*GasLogDataByte
+	if len(topic) > 0 {
+		cost += GasLogTopic
+	}
+	if err := ctx.Gas.Charge(cost); err != nil {
 		return err
 	}
-	ctx.logs = append(ctx.logs, Event{Contract: ctx.name, Name: name, Data: data})
+	ctx.logs = append(ctx.logs, Event{Contract: ctx.name, Name: name, Topic: topic, Data: data})
 	return nil
 }
 
@@ -200,6 +256,16 @@ type Chain struct {
 	accounts  map[Address]*account
 	codeSizes map[string]int
 	now       func() time.Time
+
+	// eventIdx is the incremental inverted log index: (contract, name) →
+	// events in commit order. It is what EventsByName serves from, instead
+	// of re-walking every receipt.
+	eventIdx map[string][]Event
+
+	// sealMu serializes SealBlock and the synchronous seal-hook dispatch so
+	// hooks observe blocks strictly in height order.
+	sealMu    sync.Mutex
+	sealHooks []func(Block, []*Receipt)
 }
 
 // New returns an empty chain with a genesis block.
@@ -210,11 +276,22 @@ func New() *Chain {
 		storages:  make(map[string]*Storage),
 		accounts:  make(map[Address]*account),
 		codeSizes: make(map[string]int),
+		eventIdx:  make(map[string][]Event),
 		now:       time.Now,
 	}
 	genesis := Block{Number: 0, Time: c.now()}
 	c.blocks = []Block{genesis}
 	return c
+}
+
+// OnSeal registers a hook invoked synchronously after every SealBlock with
+// the sealed block and its receipts, in height order. Hooks run without the
+// chain lock held, so they may call back into the chain; they must not call
+// SealBlock. Off-chain consumers (block buses, indexers) attach here.
+func (c *Chain) OnSeal(fn func(Block, []*Receipt)) {
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
+	c.sealHooks = append(c.sealHooks, fn)
 }
 
 // Faucet credits an account (test/genesis funding).
@@ -299,7 +376,12 @@ func (c *Chain) Submit(tx Transaction) (*Receipt, error) {
 
 	if tx.Contract == "" {
 		// Plain value transfer — tx.Method/Args ignored.
-		if err := c.transferLocked(tx.From, AddressFromString("burn"), 0); err != nil {
+		if tx.Value > 0 && tx.To == (Address{}) {
+			sender.nonce--
+			return nil, ErrNoRecipient
+		}
+		if err := c.transferLocked(tx.From, tx.To, tx.Value); err != nil {
+			sender.nonce--
 			return nil, err
 		}
 		receipt.GasUsed = gas.Used()
@@ -372,7 +454,13 @@ func (c *Chain) restoreBalances(snap map[Address]uint64) {
 func (c *Chain) commitTx(h Hash, r *Receipt) {
 	c.receipts[h] = r
 	c.pending = append(c.pending, h)
+	for _, ev := range r.Logs {
+		k := eventKey(ev.Contract, ev.Name)
+		c.eventIdx[k] = append(c.eventIdx[k], ev)
+	}
 }
+
+func eventKey(contract, name string) string { return contract + "\x00" + name }
 
 // ReadStorage reads a contract storage slot without gas (an archive-node
 // style view used by off-chain tooling and tests).
@@ -395,10 +483,15 @@ func (c *Chain) Receipt(h Hash) (*Receipt, bool) {
 	return r, ok
 }
 
-// SealBlock commits pending transactions into a new hash-linked block.
+// SealBlock commits pending transactions into a new hash-linked block and
+// dispatches it (with its receipts) to every OnSeal hook before returning,
+// so indexers are consistent with the chain by the time the sealer observes
+// the new block.
 func (c *Chain) SealBlock() Block {
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	parent := c.blocks[len(c.blocks)-1]
 	b := Block{
 		Number:    parent.Number + 1,
@@ -407,8 +500,18 @@ func (c *Chain) SealBlock() Block {
 		TxHashes:  c.pending,
 		StateRoot: c.stateRootLocked(),
 	}
+	receipts := make([]*Receipt, len(c.pending))
+	for i, h := range c.pending {
+		receipts[i] = c.receipts[h]
+	}
 	c.pending = nil
 	c.blocks = append(c.blocks, b)
+	hooks := c.sealHooks
+	c.mu.Unlock()
+
+	for _, fn := range hooks {
+		fn(b, receipts)
+	}
 	return b
 }
 
@@ -419,7 +522,7 @@ func (c *Chain) stateRootLocked() Hash {
 	for n := range c.storages {
 		names = append(names, n)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	for _, n := range names {
 		h.Write([]byte(n))
 		d := c.storages[n].digest()
@@ -461,18 +564,26 @@ func (c *Chain) VerifyIntegrity() error {
 	return nil
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
 // EventsByName returns all events with the given name emitted by a
 // contract, in transaction order across all processed transactions — the
-// log-query API off-chain indexers build on.
+// log-query API off-chain indexers build on. It is served from the chain's
+// incremental inverted index (O(matches)), not a receipt walk.
 func (c *Chain) EventsByName(contract, name string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.eventIdx[eventKey(contract, name)]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Event, len(idx))
+	copy(out, idx)
+	return out
+}
+
+// eventsByNameScan is the pre-index implementation — an O(total receipts)
+// walk over every block — retained as the reference for correctness tests
+// and the scan-vs-index benchmark.
+func (c *Chain) eventsByNameScan(contract, name string) []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []Event

@@ -127,7 +127,7 @@ func (a *ClockAuction) create(ctx *chain.CallContext, id, start, end, dur uint64
 	if err := ctx.Store.Set(listKey(id, "terms"), EncodeArgs(U64(start), U64(end), U64(dur), U64(ctx.BlockNumber()))); err != nil {
 		return err
 	}
-	return ctx.Emit("Listed", EncodeArgs(U64(id), U64(start), U64(end), U64(dur)))
+	return ctx.EmitIndexed("Listed", U64(id), EncodeArgs(U64(id), U64(start), U64(end), U64(dur)))
 }
 
 func (a *ClockAuction) terms(ctx *chain.CallContext, id uint64) (seller chain.Address, start, end, dur, createdAt uint64, err error) {
@@ -200,7 +200,7 @@ func (a *ClockAuction) bid(ctx *chain.CallContext, id uint64) error {
 	if err := ctx.Store.Delete(listKey(id, "terms")); err != nil {
 		return err
 	}
-	return ctx.Emit("Sold", EncodeArgs(U64(id), ctx.Sender[:], U64(price)))
+	return ctx.EmitIndexed("Sold", U64(id), EncodeArgs(U64(id), ctx.Sender[:], U64(price)))
 }
 
 func (a *ClockAuction) cancel(ctx *chain.CallContext, id uint64) error {
@@ -217,5 +217,5 @@ func (a *ClockAuction) cancel(ctx *chain.CallContext, id uint64) error {
 	if err := ctx.Store.Delete(listKey(id, "terms")); err != nil {
 		return err
 	}
-	return ctx.Emit("Cancelled", EncodeArgs(U64(id)))
+	return ctx.EmitIndexed("Cancelled", U64(id), EncodeArgs(U64(id)))
 }

@@ -285,7 +285,7 @@ func (d *DataNFT) mintToken(ctx *chain.CallContext, owner chain.Address, kind Tr
 	if err := d.adjustBalance(ctx, owner, 1); err != nil {
 		return 0, err
 	}
-	if err := ctx.Emit("Transfer", EncodeArgs(U64(id), nil, owner[:])); err != nil {
+	if err := ctx.EmitIndexed("Transfer", U64(id), EncodeArgs(U64(id), nil, owner[:])); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -306,7 +306,7 @@ func (d *DataNFT) transformToken(ctx *chain.CallContext, kind TransformKind, pre
 	if err != nil {
 		return 0, err
 	}
-	if err := ctx.Emit("Transform", EncodeArgs(U64(id), []byte{byte(kind)}, U64List(prev))); err != nil {
+	if err := ctx.EmitIndexed("Transform", U64(id), EncodeArgs(U64(id), []byte{byte(kind)}, U64List(prev))); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -363,7 +363,7 @@ func (d *DataNFT) transfer(ctx *chain.CallContext, id uint64, from, to chain.Add
 	if err := d.adjustBalance(ctx, to, 1); err != nil {
 		return err
 	}
-	return ctx.Emit("Transfer", EncodeArgs(U64(id), from[:], to[:]))
+	return ctx.EmitIndexed("Transfer", U64(id), EncodeArgs(U64(id), from[:], to[:]))
 }
 
 func (d *DataNFT) approve(ctx *chain.CallContext, id uint64, operator []byte) error {
@@ -411,7 +411,7 @@ func (d *DataNFT) burn(ctx *chain.CallContext, id uint64) error {
 	if err := d.adjustBalance(ctx, tok.Owner, -1); err != nil {
 		return err
 	}
-	return ctx.Emit("Burn", EncodeArgs(U64(id), tok.Owner[:]))
+	return ctx.EmitIndexed("Burn", U64(id), EncodeArgs(U64(id), tok.Owner[:]))
 }
 
 // ReadToken decodes a token's full record from chain storage without gas

@@ -133,7 +133,7 @@ func (e *Escrow) open(ctx *chain.CallContext, id uint64, seller, hv, c []byte) e
 	if err := ctx.Store.Set(exKey(id, "deadline"), U64(ctx.BlockNumber()+e.timeoutBlocks)); err != nil {
 		return err
 	}
-	return ctx.Emit("Opened", EncodeArgs(U64(id), seller, hv, c, U64(ctx.Value)))
+	return ctx.EmitIndexed("Opened", U64(id), EncodeArgs(U64(id), seller, hv, c, U64(ctx.Value)))
 }
 
 func (e *Escrow) settle(ctx *chain.CallContext, id uint64, kc []byte, verifyParts [][]byte) error {
@@ -201,7 +201,7 @@ func (e *Escrow) settle(ctx *chain.CallContext, id uint64, kc []byte, verifyPart
 		return err
 	}
 	// The buyer reads k_c from this event and derives k = k_c - k_v.
-	return ctx.Emit("Settled", EncodeArgs(U64(id), kc))
+	return ctx.EmitIndexed("Settled", U64(id), EncodeArgs(U64(id), kc))
 }
 
 func (e *Escrow) refund(ctx *chain.CallContext, id uint64) error {
@@ -241,7 +241,7 @@ func (e *Escrow) refund(ctx *chain.CallContext, id uint64) error {
 	if err := ctx.Transfer(ctx.Sender, amount); err != nil {
 		return err
 	}
-	return ctx.Emit("Refunded", EncodeArgs(U64(id), U64(amount)))
+	return ctx.EmitIndexed("Refunded", U64(id), EncodeArgs(U64(id), U64(amount)))
 }
 
 // ReadSettledKc returns the blinded key k_c of a settled exchange

@@ -81,7 +81,7 @@ type AuditReport struct {
 //  4. for every derived token: verify its π_t and that the proof's source
 //     commitments are exactly its parents' on-chain data commitments.
 func (m *Marketplace) AuditLineage(reg *ProofRegistry, tokenID uint64) (*AuditReport, error) {
-	lineage, err := contracts.Trace(m.Chain, tokenID)
+	lineage, err := m.Trace(tokenID)
 	if err != nil {
 		return nil, err
 	}

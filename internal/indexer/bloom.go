@@ -1,0 +1,37 @@
+package indexer
+
+import "hash/fnv"
+
+// bloom is a fixed 2048-bit filter over event keys, one per sealed block —
+// the per-block membership summary range queries consult before touching a
+// block's entries (the EVM logsBloom, sized down for our event volume).
+type bloom [256]byte
+
+// bloomHashes is the number of bit positions set per key.
+const bloomHashes = 3
+
+func bloomPositions(key string) [bloomHashes]uint32 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64()
+	var out [bloomHashes]uint32
+	for i := 0; i < bloomHashes; i++ {
+		out[i] = uint32((v >> (i * 16)) & 0x7FF) // 11 bits → 0..2047
+	}
+	return out
+}
+
+func (b *bloom) add(key string) {
+	for _, p := range bloomPositions(key) {
+		b[p/8] |= 1 << (p % 8)
+	}
+}
+
+func (b *bloom) maybeContains(key string) bool {
+	for _, p := range bloomPositions(key) {
+		if b[p/8]&(1<<(p%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

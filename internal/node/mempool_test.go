@@ -1,0 +1,247 @@
+package node
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zkdet/zkdet/internal/chain"
+)
+
+func testPool(t *testing.T, cfg Config) (*mempool, *chain.Chain) {
+	t.Helper()
+	cfg.sanitize()
+	c := chain.New()
+	return newMempool(cfg, c), c
+}
+
+func fund(c *chain.Chain, label string, amount uint64) chain.Address {
+	a := chain.AddressFromString(label)
+	c.Faucet(a, amount)
+	return a
+}
+
+func TestAdmissionNonceChecks(t *testing.T) {
+	p, c := testPool(t, Config{MaxNonceGap: 4})
+	alice := fund(c, "alice", 1000)
+
+	// Consume nonce 0 on chain directly.
+	bob := fund(c, "bob", 1000)
+	if _, err := c.Submit(chain.Transaction{From: alice, To: bob, Value: 1, Nonce: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 0}, false, false); !errors.Is(err, ErrNonceTooLow) {
+		t.Fatalf("nonce 0: %v, want ErrNonceTooLow", err)
+	}
+	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 1}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 1}, false, false); !errors.Is(err, ErrKnownTx) {
+		t.Fatalf("duplicate nonce: %v, want ErrKnownTx", err)
+	}
+	// Next executable is 2; gap limit 4 allows up to 6.
+	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 6}, false, false); err != nil {
+		t.Fatalf("nonce 6 within gap: %v", err)
+	}
+	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 8}, false, false); !errors.Is(err, ErrNonceGap) {
+		t.Fatalf("nonce 8: %v, want ErrNonceGap", err)
+	}
+}
+
+func TestAdmissionBalanceAndGas(t *testing.T) {
+	p, c := testPool(t, Config{MaxGasLimit: 100_000})
+	alice := fund(c, "alice", 500)
+	bob := chain.AddressFromString("bob")
+
+	if _, _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 300, Nonce: 0}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Second transfer would overdraw counting the reserved 300.
+	if _, _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 300, Nonce: 1}, false, false); !errors.Is(err, ErrUnderfunded) {
+		t.Fatalf("overdraw: %v, want ErrUnderfunded", err)
+	}
+	if _, _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 100, Nonce: 1}, false, false); err != nil {
+		t.Fatalf("affordable second transfer: %v", err)
+	}
+	if _, _, err := p.add(chain.Transaction{From: alice, GasLimit: 200_000, Nonce: 2}, false, false); !errors.Is(err, ErrGasTooHigh) {
+		t.Fatalf("gas cap: %v, want ErrGasTooHigh", err)
+	}
+}
+
+func TestAutoNonceAssignment(t *testing.T) {
+	p, c := testPool(t, Config{})
+	alice := fund(c, "alice", 1000)
+	for i := 0; i < 5; i++ {
+		if _, _, err := p.add(chain.Transaction{From: alice}, true, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.NextNonce(alice); got != 5 {
+		t.Fatalf("next nonce %d, want 5", got)
+	}
+	batch := p.pop(10)
+	if len(batch) != 5 {
+		t.Fatalf("popped %d, want 5", len(batch))
+	}
+	for i, ptx := range batch {
+		if ptx.tx.Nonce != uint64(i) {
+			t.Fatalf("pop order: batch[%d].Nonce = %d", i, ptx.tx.Nonce)
+		}
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	p, c := testPool(t, Config{MaxPoolTxs: 4, MaxNonceGap: 16})
+	alice := fund(c, "alice", 1000)
+	bob := fund(c, "bob", 1000)
+
+	// Fill the pool with alice's txs, the last far in the future.
+	var farDone chan TxResult
+	for _, nonce := range []uint64{0, 1, 2} {
+		if _, _, err := p.add(chain.Transaction{From: alice, Nonce: nonce}, false, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, farDone, err := p.add(chain.Transaction{From: alice, Nonce: 10}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob's executable tx evicts alice's nonce-10 straggler.
+	if _, _, err := p.add(chain.Transaction{From: bob, Nonce: 0}, false, false); err != nil {
+		t.Fatalf("executable tx not admitted at capacity: %v", err)
+	}
+	select {
+	case res := <-farDone:
+		if !errors.Is(res.Err, ErrEvicted) {
+			t.Fatalf("victim result %v, want ErrEvicted", res.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("evicted tx result not delivered")
+	}
+
+	// Another far-future tx cannot displace closer ones.
+	if _, _, err := p.add(chain.Transaction{From: bob, Nonce: 12}, false, false); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("far-future tx at capacity: %v, want ErrPoolFull", err)
+	}
+	if got := p.Len(); got != 4 {
+		t.Fatalf("pool size %d, want 4", got)
+	}
+}
+
+// TestParallelProducersAndSubmitters hammers the pool from concurrent
+// client goroutines while several producer goroutines pop/execute/markDone
+// — the contended admission/eviction path `make race` guards. The pool is
+// deliberately smaller than the offered load so capacity eviction fires;
+// clients behave like real ones: they wait on results and resubmit evicted
+// transactions (auto-nonce heals the gap an eviction leaves).
+func TestParallelProducersAndSubmitters(t *testing.T) {
+	const senders = 8
+	const txPerSender = 50
+	const producers = 4
+
+	p, c := testPool(t, Config{MaxPoolTxs: 128})
+	addrs := make([]chain.Address, senders)
+	for i := range addrs {
+		addrs[i] = fund(c, "sender-"+string(rune('a'+i)), 1<<30)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	executed := 0
+
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				batch := p.pop(16)
+				if len(batch) == 0 {
+					select {
+					case <-stop:
+						// Final drain so admitted stragglers execute.
+						if batch = p.pop(16); len(batch) == 0 {
+							return
+						}
+					case <-time.After(time.Millisecond):
+						continue
+					}
+				}
+				for _, ptx := range batch {
+					r, err := c.Submit(ptx.tx)
+					if err != nil {
+						t.Errorf("submit: %v", err)
+					}
+					ptx.finish(TxResult{Receipt: r, Err: err})
+				}
+				p.markDone(batch)
+				mu.Lock()
+				executed += len(batch)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var subWg sync.WaitGroup
+	for _, addr := range addrs {
+		subWg.Add(1)
+		go func(a chain.Address) {
+			defer subWg.Done()
+			var results []chan TxResult
+			submit := func() bool {
+				for {
+					_, done, err := p.add(chain.Transaction{From: a, To: a, Value: 1}, true, true)
+					switch {
+					case err == nil:
+						results = append(results, done)
+						return true
+					case errors.Is(err, ErrPoolFull):
+						time.Sleep(100 * time.Microsecond)
+					default:
+						t.Errorf("add: %v", err)
+						return false
+					}
+				}
+			}
+			for i := 0; i < txPerSender; i++ {
+				if !submit() {
+					return
+				}
+			}
+			completed := 0
+			for completed < txPerSender && len(results) > 0 {
+				res := <-results[0]
+				results = results[1:]
+				switch {
+				case errors.Is(res.Err, ErrEvicted):
+					if !submit() {
+						return
+					}
+				case res.Err != nil:
+					t.Errorf("tx result: %v", res.Err)
+					return
+				default:
+					completed++
+				}
+			}
+		}(addr)
+	}
+	subWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if executed != senders*txPerSender {
+		t.Fatalf("executed %d, want %d", executed, senders*txPerSender)
+	}
+	for _, a := range addrs {
+		if got := c.NonceOf(a); got != txPerSender {
+			t.Fatalf("sender %s nonce %d, want %d", a, got, txPerSender)
+		}
+	}
+	if got := p.Len(); got != 0 {
+		t.Fatalf("pool not drained: %d left", got)
+	}
+}

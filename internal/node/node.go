@@ -1,0 +1,297 @@
+// Package node is ZKDET's serving layer on top of the chain substrate: a
+// nonce-ordered mempool with admission control, a block-producer goroutine
+// that drains the pool and seals blocks on a size/interval trigger, and a
+// subscription bus so clients wait on inclusion instead of polling. It is
+// the transaction-admission half of the node daemon (cmd/zkdet-node); the
+// query half lives in internal/indexer.
+package node
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/zkdet/zkdet/internal/chain"
+)
+
+// Config tunes the mempool and block producer.
+type Config struct {
+	// MaxPoolTxs caps pending+executing transactions; beyond it the pool
+	// evicts the furthest-future transaction or rejects the newcomer.
+	MaxPoolTxs int
+	// MaxBlockTxs seals a block as soon as this many transactions have
+	// executed since the last seal.
+	MaxBlockTxs int
+	// BlockInterval seals any executed-but-unsealed transactions on a
+	// timer, bounding inclusion latency under light traffic.
+	BlockInterval time.Duration
+	// MaxGasLimit rejects transactions asking for more gas at admission.
+	MaxGasLimit uint64
+	// MaxNonceGap bounds how far ahead of the account nonce an explicit
+	// transaction nonce may run.
+	MaxNonceGap uint64
+}
+
+// DefaultConfig returns the tuning used by the daemon.
+func DefaultConfig() Config {
+	return Config{
+		MaxPoolTxs:    8192,
+		MaxBlockTxs:   256,
+		BlockInterval: 25 * time.Millisecond,
+		MaxGasLimit:   chain.DefaultGasLimit,
+		MaxNonceGap:   64,
+	}
+}
+
+func (c *Config) sanitize() {
+	d := DefaultConfig()
+	if c.MaxPoolTxs <= 0 {
+		c.MaxPoolTxs = d.MaxPoolTxs
+	}
+	if c.MaxBlockTxs <= 0 {
+		c.MaxBlockTxs = d.MaxBlockTxs
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = d.BlockInterval
+	}
+	if c.MaxGasLimit == 0 {
+		c.MaxGasLimit = d.MaxGasLimit
+	}
+	if c.MaxNonceGap == 0 {
+		c.MaxNonceGap = d.MaxNonceGap
+	}
+}
+
+// executedTx pairs a pooled transaction with its execution outcome, parked
+// until the next seal.
+type executedTx struct {
+	ptx     *poolTx
+	receipt *chain.Receipt
+	err     error
+}
+
+// Stats is a point-in-time snapshot of node counters.
+type Stats struct {
+	PoolSize     int
+	Admitted     uint64
+	Rejected     uint64
+	Evicted      uint64
+	BlocksSealed uint64
+	TxsIncluded  uint64
+	// Inclusion latency (admission → sealed block) percentiles over the
+	// most recent window of included transactions.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
+// Node runs the mempool + block producer over a chain and publishes sealed
+// blocks on its Bus.
+type Node struct {
+	cfg   Config
+	chain *chain.Chain
+	pool  *mempool
+	bus   *Bus
+
+	kick chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu           sync.Mutex
+	running      bool
+	blocksSealed uint64
+	txsIncluded  uint64
+	latencies    []time.Duration // ring buffer of recent inclusion latencies
+	latPos       int
+}
+
+const latencyWindow = 4096
+
+// New creates a node over the chain. Call Start to begin producing blocks.
+func New(c *chain.Chain, cfg Config) *Node {
+	cfg.sanitize()
+	n := &Node{
+		cfg:   cfg,
+		chain: c,
+		pool:  newMempool(cfg, c),
+		bus:   NewBus(),
+		kick:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	// The bus republishes every sealed block — whether this node's
+	// producer sealed it or someone called chain.SealBlock directly.
+	c.OnSeal(n.bus.publish)
+	return n
+}
+
+// Bus returns the node's subscription bus.
+func (n *Node) Bus() *Bus { return n.bus }
+
+// Chain returns the underlying chain.
+func (n *Node) Chain() *chain.Chain { return n.chain }
+
+// Start launches the block producer.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Stop drains the pool into a final block and stops the producer.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	n.mu.Unlock()
+	close(n.quit)
+	n.wg.Wait()
+}
+
+// Submit admits a transaction fire-and-forget; the result is observable via
+// the bus or chain receipts.
+func (n *Node) Submit(tx chain.Transaction) (chain.Hash, error) {
+	h, _, err := n.pool.add(tx, false, false)
+	if err != nil {
+		return chain.Hash{}, err
+	}
+	n.wake()
+	return h, nil
+}
+
+// SubmitAndWait admits a transaction (assigning the next account nonce when
+// autoNonce) and blocks until it is sealed into a block, evicted, or the
+// context ends.
+func (n *Node) SubmitAndWait(ctx context.Context, tx chain.Transaction, autoNonce bool) (TxResult, error) {
+	h, done, err := n.pool.add(tx, autoNonce, true)
+	if err != nil {
+		return TxResult{}, err
+	}
+	n.wake()
+	select {
+	case res := <-done:
+		return res, res.Err
+	case <-ctx.Done():
+		// The transaction stays pooled; its result is dropped.
+		return TxResult{TxHash: h, Err: ErrWaitCanceled}, ErrWaitCanceled
+	}
+}
+
+// NextNonce returns the nonce the pool would assign the sender next.
+func (n *Node) NextNonce(a chain.Address) uint64 { return n.pool.NextNonce(a) }
+
+func (n *Node) wake() {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the block producer: it drains executable transactions from the
+// pool, executes them against the chain, and seals when MaxBlockTxs have
+// accumulated or the interval expires with work pending.
+func (n *Node) run() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.BlockInterval)
+	defer ticker.Stop()
+	var executed []executedTx
+
+	seal := func() {
+		if len(executed) == 0 {
+			return
+		}
+		b := n.chain.SealBlock() // dispatches OnSeal hooks (bus, indexer)
+		now := time.Now()
+		n.mu.Lock()
+		n.blocksSealed++
+		n.txsIncluded += uint64(len(executed))
+		for _, e := range executed {
+			if e.err == nil {
+				n.recordLatencyLocked(now.Sub(e.ptx.added))
+			}
+		}
+		n.mu.Unlock()
+		for _, e := range executed {
+			if e.err != nil {
+				e.ptx.finish(TxResult{Err: e.err})
+				continue
+			}
+			e.ptx.finish(TxResult{Receipt: e.receipt, BlockNumber: b.Number})
+		}
+		executed = executed[:0]
+	}
+
+	drain := func() {
+		for {
+			batch := n.pool.pop(n.cfg.MaxBlockTxs - len(executed))
+			if len(batch) == 0 {
+				return
+			}
+			for _, ptx := range batch {
+				r, err := n.chain.Submit(ptx.tx)
+				executed = append(executed, executedTx{ptx: ptx, receipt: r, err: err})
+			}
+			n.pool.markDone(batch)
+			if len(executed) >= n.cfg.MaxBlockTxs {
+				seal()
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-n.kick:
+			drain()
+		case <-ticker.C:
+			drain()
+			seal()
+		case <-n.quit:
+			drain()
+			seal()
+			n.pool.drainAll(ErrNodeStopped)
+			return
+		}
+	}
+}
+
+func (n *Node) recordLatencyLocked(d time.Duration) {
+	if len(n.latencies) < latencyWindow {
+		n.latencies = append(n.latencies, d)
+		return
+	}
+	n.latencies[n.latPos] = d
+	n.latPos = (n.latPos + 1) % latencyWindow
+}
+
+// Stats snapshots the node counters.
+func (n *Node) Stats() Stats {
+	pool := n.pool
+	pool.mu.Lock()
+	s := Stats{
+		PoolSize: pool.size,
+		Admitted: pool.admitted,
+		Rejected: pool.rejected,
+		Evicted:  pool.evictions,
+	}
+	pool.mu.Unlock()
+
+	n.mu.Lock()
+	s.BlocksSealed = n.blocksSealed
+	s.TxsIncluded = n.txsIncluded
+	lats := append([]time.Duration(nil), n.latencies...)
+	n.mu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.LatencyP50 = lats[len(lats)/2]
+		s.LatencyP99 = lats[len(lats)*99/100]
+	}
+	return s
+}
