@@ -5,11 +5,13 @@
 GO ?= go
 
 # Packages that spawn worker pools or serve concurrent clients; these get
-# the race detector.
+# the race detector. contracts is here for the seal-time batch-verification
+# path: the block producer marks proofs pre-verified concurrently with
+# contract execution consuming the marks.
 RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
-	./internal/chain/... ./internal/node/... ./internal/indexer/...
+	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/...
 
-.PHONY: check vet build test race bench node-demo
+.PHONY: check vet build test race bench bench-verify node-demo
 
 check: vet build test race
 
@@ -30,6 +32,13 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkFFT$$|BenchmarkG1MSM$$|BenchmarkCommit$$|BenchmarkProve$$' -benchmem \
 		./internal/poly/ ./internal/bn254/ ./internal/kzg/ ./internal/plonk/
+
+# Verification-engine benchmarks: the pairing check naive/sparse/precomp,
+# single-proof plonk.Verify, and BatchVerify at N = 1, 4, 16, 64 (watch
+# ns/proof flatten); see EXPERIMENTS.md §Fig. 7 for recorded numbers.
+bench-verify:
+	$(GO) test -run='^$$' -bench='BenchmarkPairingCheck$$|BenchmarkVerify$$|BenchmarkBatchVerify$$' \
+		./internal/bn254/ ./internal/plonk/
 
 # Boot the node daemon in-process and drive 100 concurrent clients through
 # full exchange lifecycles over HTTP JSON-RPC; prints tx/s and p50/p99.

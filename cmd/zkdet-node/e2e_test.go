@@ -182,6 +182,14 @@ func TestE2EHundredClients(t *testing.T) {
 	if s.PoolSize != 0 {
 		t.Fatalf("pool not drained: %d", s.PoolSize)
 	}
+	// Every settle's π_k went through the seal-time batch verifier; none
+	// were evicted.
+	if s.ProofsPreverified != clients {
+		t.Fatalf("ProofsPreverified = %d, want %d", s.ProofsPreverified, clients)
+	}
+	if s.ProofsEvicted != 0 {
+		t.Fatalf("ProofsEvicted = %d, want 0", s.ProofsEvicted)
+	}
 	ixs := srv.ix.Stats()
 	if ixs.Tokens != clients*2 {
 		t.Fatalf("indexer tracked %d tokens, want %d", ixs.Tokens, clients*2)

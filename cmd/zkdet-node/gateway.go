@@ -384,6 +384,7 @@ func (g *gateway) stats() any {
 			"poolSize": ns.PoolSize, "admitted": ns.Admitted,
 			"rejected": ns.Rejected, "evicted": ns.Evicted,
 			"blocksSealed": ns.BlocksSealed, "txsIncluded": ns.TxsIncluded,
+			"proofsPreverified": ns.ProofsPreverified, "proofsEvicted": ns.ProofsEvicted,
 			"latencyP50Ms": float64(ns.LatencyP50.Microseconds()) / 1000,
 			"latencyP99Ms": float64(ns.LatencyP99.Microseconds()) / 1000,
 		},

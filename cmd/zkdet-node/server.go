@@ -49,6 +49,9 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, fmt.Errorf("deploying marketplace: %w", err)
 	}
 	ix := mkt.AttachIndexer()
+	// Fold every block's proof-carrying transactions into one pairing
+	// check at seal time.
+	cfg.node.SealVerifier = mkt.ProofChecker()
 	n := node.New(mkt.Chain, cfg.node)
 	n.Start()
 	return &server{mkt: mkt, node: n, ix: ix}, nil

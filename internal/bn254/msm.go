@@ -27,8 +27,10 @@ func G1MSM(points []G1Affine, scalars []fr.Element) (G1Affine, error) {
 	if len(points) == 0 {
 		return G1Affine{}, nil
 	}
-	if len(points) < 32 {
-		// Naive is faster for tiny inputs.
+	if len(points) < 3 {
+		// One shared bucket walk only starts winning once a few points
+		// amortise the per-window reductions; below that, plain
+		// double-and-add is cheaper.
 		var acc G1Jac
 		acc.SetInfinity()
 		for i := range points {
@@ -187,8 +189,10 @@ func windowDigit(be []byte, offset, c int) int {
 // windowSize picks the Pippenger window for n points.
 func windowSize(n int) int {
 	switch {
-	case n < 64:
+	case n < 12:
 		return 3
+	case n < 64:
+		return 4
 	case n < 256:
 		return 5
 	case n < 1024:

@@ -11,12 +11,19 @@ import (
 // Frobenius-twisted line evaluations, followed by the final exponentiation
 // f^((p¹²-1)/r).
 //
-// For clarity and auditability this implementation "untwists" G2 points
-// into E(Fp12) and runs a textbook affine Miller loop there: with
-// w⁶ = ξ in the tower, ψ(x', y') = (w²·x', w³·y') maps the twist
-// E': y² = x³ + 3/ξ into E: y² = x³ + 3 over Fp12. This trades speed for
-// simplicity — no sparse-multiplication or twisted-Frobenius constants —
-// while preserving the exact pairing value.
+// Two implementations coexist:
+//
+//   - The naive reference (PairNaive/PairingCheckNaive) "untwists" G2
+//     points into E(Fp12) and runs a textbook affine Miller loop there:
+//     with w⁶ = ξ in the tower, ψ(x', y') = (w²·x', w³·y') maps the twist
+//     E': y² = x³ + 3/ξ into E: y² = x³ + 3 over Fp12. Slow but auditable.
+//   - The fast engine (Pair/PairingCheck/PairingCheckPrecomp, see
+//     lines.go and cyclotomic.go) exploits line sparsity, precomputed G2
+//     line tables, a shared Miller loop across pairs, and cyclotomic
+//     arithmetic in the final exponentiation.
+//
+// Both produce bit-identical results (pinned by property tests); the
+// naive path is retained as the correctness reference.
 
 // ErrPairingInput reports invalid pairing inputs.
 var ErrPairingInput = errors.New("bn254: mismatched pairing input lengths")
@@ -214,13 +221,8 @@ func millerLoop(p *G1Affine, q *G2Affine) Fp12 {
 	return f
 }
 
-// finalExponentiation raises f to (p¹²-1)/r, mapping Miller-loop outputs
-// into the order-r subgroup GT.
-func finalExponentiation(f *Fp12) Fp12 {
-	if f.IsZero() {
-		return Fp12{}
-	}
-	// Easy part: f^((p⁶-1)(p²+1)).
+// easyPart raises f to (p⁶-1)(p²+1), landing in the cyclotomic subgroup.
+func easyPart(f *Fp12) Fp12 {
 	var r, inv Fp12
 	r.Conjugate(f) // f^(p⁶)
 	inv.Inverse(f)
@@ -228,25 +230,92 @@ func finalExponentiation(f *Fp12) Fp12 {
 	var r2 Fp12
 	r2.FrobeniusSquare(&r)
 	r.Mul(&r2, &r) // ^(p²+1)
+	return r
+}
 
-	// Hard part: exponent (p⁴-p²+1)/r, computed directly. Slower than the
-	// Duquesne–Ghammam addition chains but unconditionally correct.
+// finalExponentiation raises f to (p¹²-1)/r, mapping Miller-loop outputs
+// into the order-r subgroup GT. The hard part runs in the cyclotomic
+// subgroup via the Devegili–Scott–Dahab chain: three exponentiations by
+// the 63-bit BN parameter with Granger–Scott squarings (see cyclotomic.go).
+func finalExponentiation(f *Fp12) Fp12 {
+	if f.IsZero() {
+		return Fp12{}
+	}
+	r := easyPart(f)
+	return hardPart(&r)
+}
+
+// finalExponentiationNaive is the reference final exponentiation: the hard
+// part is a plain square-and-multiply by (p⁴-p²+1)/r. Slower than the
+// cyclotomic path but unconditionally correct for any nonzero input.
+func finalExponentiationNaive(f *Fp12) Fp12 {
+	if f.IsZero() {
+		return Fp12{}
+	}
+	r := easyPart(f)
 	var out Fp12
 	out.Exp(&r, hardExponent())
 	return out
 }
 
-// Pair computes the optimal ate pairing e(p, q). Either input at infinity
-// yields the identity of GT.
+// Pair computes the optimal ate pairing e(p, q) using the sparse engine:
+// the G2 line coefficients are derived once in Fp2 and folded into the
+// accumulator with sparse multiplies. Either input at infinity yields the
+// identity of GT. Bit-identical to PairNaive.
 func Pair(p *G1Affine, q *G2Affine) Fp12 {
-	f := millerLoop(p, q)
+	pc := NewG2LinePrecomp(q)
+	return PairFixed(p, pc)
+}
+
+// PairFixed computes e(p, Q) against a precomputed G2 line table,
+// skipping all G2 arithmetic.
+func PairFixed(p *G1Affine, pc *G2LinePrecomp) Fp12 {
+	f := millerLoopPrecomp([]G1Affine{*p}, []*G2LinePrecomp{pc})
 	return finalExponentiation(&f)
 }
 
-// PairingCheck reports whether ∏ e(ps[i], qs[i]) == 1. It shares a single
-// final exponentiation across all pairs, which is how verifiers should
-// evaluate products of pairings.
+// PairNaive computes e(p, q) with the textbook Fp12 Miller loop. Retained
+// as the correctness reference for the fast engine.
+func PairNaive(p *G1Affine, q *G2Affine) Fp12 {
+	f := millerLoop(p, q)
+	return finalExponentiationNaive(&f)
+}
+
+// PairingCheck reports whether ∏ e(ps[i], qs[i]) == 1. All pairs run in
+// one shared Miller loop (the accumulator is squared once per bit for the
+// whole product) followed by a single final exponentiation, which is how
+// verifiers should evaluate products of pairings.
 func PairingCheck(ps []G1Affine, qs []G2Affine) (bool, error) {
+	if len(ps) != len(qs) {
+		return false, ErrPairingInput
+	}
+	pcs := make([]*G2LinePrecomp, len(qs))
+	for i := range qs {
+		pcs[i] = NewG2LinePrecomp(&qs[i])
+	}
+	return PairingCheckPrecomp(ps, pcs)
+}
+
+// PairingCheckPrecomp is PairingCheck against precomputed G2 line tables:
+// the per-call cost is one shared sparse Miller loop and one final
+// exponentiation, with no G2 arithmetic at all. This is the hot path for
+// verifiers, whose G2 inputs are fixed SRS elements.
+func PairingCheckPrecomp(ps []G1Affine, pcs []*G2LinePrecomp) (bool, error) {
+	if len(ps) != len(pcs) {
+		return false, ErrPairingInput
+	}
+	for _, pc := range pcs {
+		if pc == nil {
+			return false, ErrPairingInput
+		}
+	}
+	f := millerLoopPrecomp(ps, pcs)
+	res := finalExponentiation(&f)
+	return res.IsOne(), nil
+}
+
+// PairingCheckNaive is the reference product-of-pairings check.
+func PairingCheckNaive(ps []G1Affine, qs []G2Affine) (bool, error) {
 	if len(ps) != len(qs) {
 		return false, ErrPairingInput
 	}
@@ -255,6 +324,6 @@ func PairingCheck(ps []G1Affine, qs []G2Affine) (bool, error) {
 		f := millerLoop(&ps[i], &qs[i])
 		acc.Mul(&acc, &f)
 	}
-	res := finalExponentiation(&acc)
+	res := finalExponentiationNaive(&acc)
 	return res.IsOne(), nil
 }

@@ -1,0 +1,251 @@
+package bn254
+
+import (
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+func randG1() G1Affine {
+	s := fr.MustRandom()
+	g := G1Generator()
+	return G1ScalarMul(&g, &s)
+}
+
+func randG2() G2Affine {
+	s := fr.MustRandom()
+	g := G2Generator()
+	return G2ScalarMul(&g, &s)
+}
+
+// TestSparsePairBitIdentical pins the core acceptance property: the sparse
+// engine and the precomputed-line path produce results bit-identical to
+// the retained naive Pair, on random points, infinity, and negated points.
+func TestSparsePairBitIdentical(t *testing.T) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	var negG1 G1Affine
+	negG1.Neg(&g1)
+	var negG2 G2Affine
+	negG2.Neg(&g2)
+
+	type pair struct {
+		name string
+		p    G1Affine
+		q    G2Affine
+	}
+	cases := []pair{
+		{"generators", g1, g2},
+		{"neg-g1", negG1, g2},
+		{"neg-g2", g1, negG2},
+		{"both-neg", negG1, negG2},
+		{"inf-g1", G1Affine{}, g2},
+		{"inf-g2", g1, G2Affine{}},
+		{"both-inf", G1Affine{}, G2Affine{}},
+	}
+	for i := 0; i < 8; i++ {
+		p, q := randG1(), randG2()
+		cases = append(cases, pair{"random", p, q})
+		var np G1Affine
+		np.Neg(&p)
+		cases = append(cases, pair{"random-neg", np, q})
+	}
+
+	for _, c := range cases {
+		want := PairNaive(&c.p, &c.q)
+		got := Pair(&c.p, &c.q)
+		if !got.Equal(&want) {
+			t.Fatalf("%s: sparse Pair differs from naive", c.name)
+		}
+		pc := NewG2LinePrecomp(&c.q)
+		fixed := PairFixed(&c.p, pc)
+		if !fixed.Equal(&want) {
+			t.Fatalf("%s: PairFixed differs from naive", c.name)
+		}
+	}
+}
+
+// TestSparseMillerLoopBitIdentical compares the raw Miller-loop outputs
+// (before final exponentiation), the strictest form of the identity: the
+// shared precomputed loop must accumulate exactly the same Fp12 values as
+// the naive per-pair loops multiplied together.
+func TestSparseMillerLoopBitIdentical(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + trial%3
+		ps := make([]G1Affine, n)
+		qs := make([]G2Affine, n)
+		pcs := make([]*G2LinePrecomp, n)
+		want := fp12One()
+		for i := 0; i < n; i++ {
+			ps[i] = randG1()
+			qs[i] = randG2()
+			pcs[i] = NewG2LinePrecomp(&qs[i])
+			f := millerLoop(&ps[i], &qs[i])
+			want.Mul(&want, &f)
+		}
+		got := millerLoopPrecomp(ps, pcs)
+		if !got.Equal(&want) {
+			t.Fatalf("trial %d: shared sparse Miller loop differs from naive product", trial)
+		}
+	}
+}
+
+// TestPairingCheckMatchesNaive exercises the boolean check against the
+// naive version on both accepting and rejecting inputs, including pairs
+// with infinity on either side.
+func TestPairingCheckMatchesNaive(t *testing.T) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	a := fr.MustRandom()
+	b := fr.MustRandom()
+	aP := G1ScalarMul(&g1, &a)
+	bQ := G2ScalarMul(&g2, &b)
+	var ab fr.Element
+	ab.Mul(&a, &b)
+	abP := G1ScalarMul(&g1, &ab)
+	var negAbP G1Affine
+	negAbP.Neg(&abP)
+
+	// e([a]P, [b]Q) · e(-[ab]P, Q) == 1.
+	accepting := [][2]interface{}{}
+	_ = accepting
+	ps := []G1Affine{aP, negAbP}
+	qs := []G2Affine{bQ, g2}
+	okFast, err := PairingCheck(ps, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okNaive, err := PairingCheckNaive(ps, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okFast || !okNaive {
+		t.Fatalf("accepting check: fast=%v naive=%v, want both true", okFast, okNaive)
+	}
+
+	// Perturbed version must be rejected by both.
+	ps[1] = abP
+	okFast, _ = PairingCheck(ps, qs)
+	okNaive, _ = PairingCheckNaive(ps, qs)
+	if okFast || okNaive {
+		t.Fatalf("rejecting check: fast=%v naive=%v, want both false", okFast, okNaive)
+	}
+
+	// Infinity pairs contribute the identity on both paths.
+	ps = []G1Affine{aP, {}}
+	qs = []G2Affine{{}, bQ}
+	okFast, _ = PairingCheck(ps, qs)
+	okNaive, _ = PairingCheckNaive(ps, qs)
+	if !okFast || !okNaive {
+		t.Fatalf("infinity check: fast=%v naive=%v, want both true", okFast, okNaive)
+	}
+
+	if _, err := PairingCheck(make([]G1Affine, 2), make([]G2Affine, 1)); err != ErrPairingInput {
+		t.Fatal("length mismatch must return ErrPairingInput")
+	}
+	if _, err := PairingCheckPrecomp(make([]G1Affine, 1), []*G2LinePrecomp{nil}); err != ErrPairingInput {
+		t.Fatal("nil precomp must return ErrPairingInput")
+	}
+}
+
+// TestCyclotomicSquareMatchesSquare checks the Granger–Scott compressed
+// squaring against the generic Fp12 squaring on elements of the
+// cyclotomic subgroup (easy-part outputs of random Miller values).
+func TestCyclotomicSquareMatchesSquare(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		x := randFp12()
+		if x.IsZero() {
+			continue
+		}
+		c := easyPart(&x) // lands in the cyclotomic subgroup
+		var want, got Fp12
+		want.Square(&c)
+		got.CyclotomicSquare(&c)
+		if !got.Equal(&want) {
+			t.Fatalf("iteration %d: cyclotomic square differs from generic square", i)
+		}
+	}
+}
+
+// TestExpCyclotomicMatchesExp checks the NAF/conjugate exponentiation
+// against the generic Exp for the hard-part exponent.
+func TestExpCyclotomicMatchesExp(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		x := randFp12()
+		if x.IsZero() {
+			continue
+		}
+		c := easyPart(&x)
+		var want, got Fp12
+		want.Exp(&c, hardExponent())
+		got.expCyclotomic(&c, hardExpNAF())
+		if !got.Equal(&want) {
+			t.Fatalf("iteration %d: cyclotomic exp differs from generic exp", i)
+		}
+	}
+}
+
+// TestHardPartMatchesExp pins the Devegili–Scott–Dahab chain against the
+// generic exponentiation by (p⁴-p²+1)/r on cyclotomic elements — the two
+// exponents agree modulo the subgroup order p⁴-p²+1.
+func TestHardPartMatchesExp(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		x := randFp12()
+		if x.IsZero() {
+			continue
+		}
+		c := easyPart(&x)
+		var want Fp12
+		want.Exp(&c, hardExponent())
+		got := hardPart(&c)
+		if !got.Equal(&want) {
+			t.Fatalf("iteration %d: DSD hard part differs from generic exp", i)
+		}
+	}
+}
+
+// TestG2LinePrecompSchedule pins that every precomputation emits the same
+// number of steps regardless of branch decisions, which is what lets the
+// shared Miller loop consume multiple tables in lockstep.
+func TestG2LinePrecompSchedule(t *testing.T) {
+	q1, q2 := randG2(), randG2()
+	a := NewG2LinePrecomp(&q1)
+	b := NewG2LinePrecomp(&q2)
+	if len(a.steps) == 0 || len(a.steps) != len(b.steps) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a.steps), len(b.steps))
+	}
+}
+
+func BenchmarkPairingCheck(b *testing.B) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	a := fr.MustRandom()
+	s := fr.MustRandom()
+	aP := G1ScalarMul(&g1, &a)
+	sQ := G2ScalarMul(&g2, &s)
+	ps := []G1Affine{aP, g1}
+	qs := []G2Affine{g2, sQ}
+	pcs := []*G2LinePrecomp{NewG2LinePrecomp(&g2), NewG2LinePrecomp(&sQ)}
+
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PairingCheckNaive(ps, qs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PairingCheck(ps, qs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("precomp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PairingCheckPrecomp(ps, pcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

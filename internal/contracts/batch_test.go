@@ -1,0 +1,253 @@
+package contracts
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// batchProofSystem is like testProofSystem but keeps the proving key so
+// tests can mint many distinct proofs of the same statement.
+var batchProofSystem = sync.OnceValue(func() (out struct {
+	pk      *plonk.ProvingKey
+	vk      *plonk.VerifyingKey
+	witness []fr.Element
+}) {
+	tau := fr.NewElement(0xbeef)
+	srs, err := kzg.NewSRSFromSecret(64, &tau)
+	if err != nil {
+		panic(err)
+	}
+	cs := plonk.NewConstraintSystem(1)
+	x := cs.NewVariable()
+	y := cs.NewVariable()
+	minusOne := fr.NewFromInt64(-1)
+	cs.MustAddGate(plonk.Gate{QM: fr.One(), QO: minusOne, A: x, B: y, C: 0})
+	out.witness = []fr.Element{fr.NewElement(391), fr.NewElement(17), fr.NewElement(23)}
+	out.pk, out.vk, err = plonk.Setup(cs, srs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+})
+
+func mintProofs(t testing.TB, n int) ([]*plonk.Proof, [][]fr.Element) {
+	t.Helper()
+	ps := batchProofSystem()
+	proofs := make([]*plonk.Proof, n)
+	publics := make([][]fr.Element, n)
+	for i := range proofs {
+		p, err := plonk.Prove(ps.pk, ps.witness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proofs[i] = p
+		publics[i] = ps.witness[:1]
+	}
+	return proofs, publics
+}
+
+// breakProof swaps the ζ-opening commitment for an unrelated point: the
+// proof still deserialises and passes the transcript/quotient checks, but
+// its pairing check fails — the exact shape batch folding must catch.
+func breakProof(p *plonk.Proof) *plonk.Proof {
+	bad := *p
+	s := fr.NewElement(0xbad)
+	g := bn254.G1Generator()
+	bad.WZeta = bn254.G1ScalarMul(&g, &s)
+	return &bad
+}
+
+// TestVerifyBatchOnChain covers the verifyBatch entrypoint: N proofs in
+// one call cost far less than N standalone calls, and a single bad proof
+// reverts the whole call.
+func TestVerifyBatchOnChain(t *testing.T) {
+	ps := batchProofSystem()
+	proofs, publics := mintProofs(t, 4)
+
+	c := chain.New()
+	if _, err := c.Deploy("verifier", NewVerifier(ps.vk), VerifierCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	alice := chain.AddressFromString("alice")
+
+	r := call(t, c, alice, "verifier", "verifyBatch", 0, VerifyBatchArgs(proofs, publics))
+	mustSucceed(t, r)
+	if len(r.Return) != 1 || r.Return[0] != 1 {
+		t.Fatal("verifyBatch did not return success")
+	}
+	single := VerificationGas(1)
+	if r.GasUsed >= 4*single {
+		t.Fatalf("batched gas %d not amortised vs 4×%d standalone", r.GasUsed, single)
+	}
+
+	// One corrupted proof poisons the batch.
+	badProofs := append([]*plonk.Proof{}, proofs...)
+	badProofs[2] = breakProof(proofs[2])
+	r = call(t, c, alice, "verifier", "verifyBatch", 0, VerifyBatchArgs(badProofs, publics))
+	if !errors.Is(r.Err, ErrProofRejected) {
+		t.Fatalf("corrupted batch: %v", r.Err)
+	}
+	// Empty batch is malformed.
+	r = call(t, c, alice, "verifier", "verifyBatch", 0, EncodeArgs())
+	if r.Err == nil {
+		t.Fatal("empty verifyBatch accepted")
+	}
+}
+
+// TestBatchVerifiedGasSchedule pins the amortised schedule: the pairing
+// term is split across the batch and vanishes as n grows, while the
+// per-proof folding work stays.
+func TestBatchVerifiedGasSchedule(t *testing.T) {
+	if BatchVerifiedGas(1, 1) <= BatchVerifiedGas(16, 1) {
+		// n=1 carries the whole pairing; n=16 a sixteenth of it.
+		t.Fatal("amortised gas not decreasing in batch size")
+	}
+	floor := uint64(18+1+2)*chain.GasEcMul + 24*chain.GasEcAdd
+	if g := BatchVerifiedGas(1_000_000, 1); g < floor || g > floor+1 {
+		t.Fatalf("asymptotic amortised gas %d, want folding floor %d", g, floor)
+	}
+	if BatchVerifiedGas(0, 1) != BatchVerifiedGas(1, 1) {
+		t.Fatal("batch size below 1 must clamp")
+	}
+}
+
+// TestBlockProofCheckerMarksAndEvicts drives the seal-time flow: a mix of
+// valid proofs, an invalid proof, and a non-proof transaction. The checker
+// must flag exactly the invalid one, and the marked transactions must then
+// execute on-chain at the amortised gas cost — consuming the mark, so a
+// replay pays full price.
+func TestBlockProofCheckerMarksAndEvicts(t *testing.T) {
+	ps := batchProofSystem()
+	proofs, publics := mintProofs(t, 3)
+
+	c := chain.New()
+	verifier := NewVerifier(ps.vk)
+	if _, err := c.Deploy("verifier", verifier, VerifierCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	alice := chain.AddressFromString("alice")
+
+	bc := NewBlockProofChecker()
+	bc.AddVerifier("verifier", verifier)
+
+	txs := []*chain.Transaction{
+		{From: alice, Contract: "verifier", Method: "verify", Args: VerifyArgs(proofs[0], publics[0])},
+		{From: alice, Contract: "other", Method: "noop"},
+		{From: alice, Contract: "verifier", Method: "verify", Args: VerifyArgs(breakProof(proofs[1]), publics[1])},
+		{From: alice, Contract: "verifier", Method: "verify", Args: VerifyArgs(proofs[2], publics[2])},
+	}
+	verified, errs := bc.VerifyBatch(txs)
+	if verified != 2 {
+		t.Fatalf("verified = %d, want 2", verified)
+	}
+	if errs[0] != nil || errs[1] != nil || errs[3] != nil {
+		t.Fatalf("valid/non-proof txs flagged: %v", errs)
+	}
+	if !errors.Is(errs[2], ErrProofRejected) {
+		t.Fatalf("invalid proof not flagged: %v", errs[2])
+	}
+
+	// Marked transactions execute at the amortised cost (receipts also
+	// carry the intrinsic base + calldata gas).
+	intrinsic := uint64(chain.GasTxBase) + uint64(len(txs[0].Args))*chain.GasCalldataByte
+	r := call(t, c, alice, "verifier", "verify", 0, txs[0].Args)
+	mustSucceed(t, r)
+	if want := intrinsic + BatchVerifiedGas(2, 1); r.GasUsed != want {
+		t.Fatalf("pre-verified gas %d, want %d", r.GasUsed, want)
+	}
+	// The mark is consume-once: replaying the same calldata re-verifies at
+	// the standalone price.
+	r = call(t, c, alice, "verifier", "verify", 0, txs[0].Args)
+	mustSucceed(t, r)
+	if want := intrinsic + VerificationGas(1); r.GasUsed != want {
+		t.Fatalf("replay gas %d, want standalone %d", r.GasUsed, want)
+	}
+}
+
+// TestBlockProofCheckerEscrowSettle checks that escrow settlements join the
+// seal-time batch: the checker recognises the embedded verify calldata,
+// and the settled exchange's inner verification runs at amortised gas.
+func TestBlockProofCheckerEscrowSettle(t *testing.T) {
+	// 3-public circuit matching the escrow's (kc, c, hv) statement.
+	tau := fr.NewElement(0xfade)
+	srs, err := kzg.NewSRSFromSecret(64, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := plonk.NewConstraintSystem(3)
+	minusOne := fr.NewFromInt64(-1)
+	cs.MustAddGate(plonk.Gate{QL: fr.One(), QR: fr.One(), QO: minusOne, A: 1, B: 2, C: 0})
+	witness := []fr.Element{fr.NewElement(30), fr.NewElement(10), fr.NewElement(20)}
+	pk, vk, err := plonk.Setup(cs, srs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chain.New()
+	verifier := NewVerifier(vk)
+	escrow := NewEscrow("pik-verifier", 10)
+	if _, err := c.Deploy("pik-verifier", verifier, VerifierCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy(EscrowName, escrow, EscrowCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	buyer := chain.AddressFromString("buyer")
+	seller := chain.AddressFromString("seller")
+	c.Faucet(buyer, 1_000_000)
+	c.Faucet(seller, 1_000_000)
+
+	kcB := witness[0].Bytes()
+	cB := witness[1].Bytes()
+	hvB := witness[2].Bytes()
+
+	// Three exchanges with three distinct proofs of the same statement.
+	// Settles 1 and 2 go through the seal-time batch (n=2, so the pairing
+	// gas is halved); settle 3 executes unmarked as the full-price control.
+	settles := make([]*chain.Transaction, 3)
+	for i := range settles {
+		id := uint64(i + 1)
+		proof, err := plonk.Prove(pk, witness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSucceed(t, call(t, c, buyer, EscrowName, "open", 5000,
+			EncodeArgs(U64(id), seller[:], hvB[:], cB[:])))
+		settles[i] = &chain.Transaction{
+			From: seller, Contract: EscrowName, Method: "settle",
+			Args: EncodeArgs(U64(id), kcB[:], proof.Bytes(), kcB[:], cB[:], hvB[:]),
+		}
+	}
+
+	bc := NewBlockProofChecker()
+	bc.AddVerifier("pik-verifier", verifier)
+	bc.AddEscrow(EscrowName, escrow)
+
+	verified, errs := bc.VerifyBatch(settles[:2])
+	if verified != 2 {
+		t.Fatalf("verified = %d, want 2", verified)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("valid settles flagged: %v", errs)
+	}
+
+	// The marked settles execute with the inner verify hitting the
+	// pre-verified mark; their gas must undercut the unmarked control by
+	// the non-amortised share of the pairing.
+	r0 := call(t, c, seller, EscrowName, "settle", 0, settles[0].Args)
+	mustSucceed(t, r0)
+	r1 := call(t, c, seller, EscrowName, "settle", 0, settles[1].Args)
+	mustSucceed(t, r1)
+	r2 := call(t, c, seller, EscrowName, "settle", 0, settles[2].Args)
+	mustSucceed(t, r2)
+	if r0.GasUsed >= r2.GasUsed || r1.GasUsed >= r2.GasUsed {
+		t.Fatalf("marked settles (%d, %d) not cheaper than unmarked (%d)",
+			r0.GasUsed, r1.GasUsed, r2.GasUsed)
+	}
+}

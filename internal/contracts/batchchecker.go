@@ -1,0 +1,142 @@
+package contracts
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// BlockProofChecker batch-verifies the Plonk proofs carried by a block's
+// transactions before they execute. The block producer hands it the popped
+// transactions; it recognises the proof-carrying ones (direct verifier
+// calls and escrow settlements), folds all proofs against the same
+// verifying key into one pairing check, and marks the valid ones
+// pre-verified on their verifier contract — execution then charges the
+// amortised gas schedule and skips the pairing. Invalid proofs are
+// reported by index so the producer can evict them without wasting block
+// space; plonk.Batch's bisection isolates offenders in O(k·log n) pairing
+// checks.
+//
+// It implements the node package's SealVerifier interface structurally,
+// keeping the dependency pointing from the application layer down to the
+// node rather than the reverse.
+type BlockProofChecker struct {
+	verifiers map[string]*Verifier
+	escrows   map[string]*Escrow
+}
+
+// NewBlockProofChecker returns an empty checker; register the deployed
+// contracts with AddVerifier/AddEscrow.
+func NewBlockProofChecker() *BlockProofChecker {
+	return &BlockProofChecker{
+		verifiers: make(map[string]*Verifier),
+		escrows:   make(map[string]*Escrow),
+	}
+}
+
+// AddVerifier registers a deployed verifier contract under its deployment
+// name, enabling seal-time batching for direct verify transactions.
+func (bc *BlockProofChecker) AddVerifier(name string, v *Verifier) {
+	bc.verifiers[name] = v
+}
+
+// AddEscrow registers a deployed escrow so its settle transactions — which
+// call the escrow's verifier internally — join the seal-time batch too.
+func (bc *BlockProofChecker) AddEscrow(name string, e *Escrow) {
+	bc.escrows[name] = e
+}
+
+// extract recognises a proof-carrying transaction and returns its target
+// verifier plus the verify calldata; ok is false for everything else
+// (transfers, mints, opens, refunds, unknown contracts).
+func (bc *BlockProofChecker) extract(tx *chain.Transaction) (*Verifier, []byte, bool) {
+	if v, found := bc.verifiers[tx.Contract]; found && tx.Method == "verify" {
+		return v, tx.Args, true
+	}
+	if e, found := bc.escrows[tx.Contract]; found && tx.Method == "settle" {
+		parts, err := DecodeArgsVariadic(tx.Args)
+		if err != nil || len(parts) < 3 {
+			return nil, nil, false // malformed; let it revert on-chain
+		}
+		v, found := bc.verifiers[e.verifierName]
+		if !found {
+			return nil, nil, false
+		}
+		// settle(id, kc, verifyParts…): the escrow forwards
+		// EncodeArgs(verifyParts…) to its verifier, so that is the
+		// calldata to batch and to mark pre-verified.
+		return v, EncodeArgs(parts[2:]...), true
+	}
+	return nil, nil, false
+}
+
+// VerifyBatch batch-verifies the proofs carried by txs. It returns the
+// number of transactions whose proofs were validated (and marked
+// pre-verified on their contracts) and a per-transaction error slice:
+// errs[i] != nil means transaction i carries a proof that fails
+// verification and should be dropped from the block. Transactions that
+// carry no recognisable proof are left untouched (nil error, not counted).
+func (bc *BlockProofChecker) VerifyBatch(txs []*chain.Transaction) (int, []error) {
+	errs := make([]error, len(txs))
+
+	// Group recognised proofs by target verifier: proofs under different
+	// verifying keys cannot share a fold.
+	type entry struct {
+		txIndex int
+		digest  [32]byte
+		args    []byte
+	}
+	groups := make(map[*Verifier][]entry)
+	for i, tx := range txs {
+		if v, args, ok := bc.extract(tx); ok {
+			groups[v] = append(groups[v], entry{txIndex: i, digest: verifyDigest(args), args: args})
+		}
+	}
+
+	verified := 0
+	for v, entries := range groups {
+		b := plonk.NewBatch(v.vk)
+		// members maps position-in-batch back to position-in-entries:
+		// proofs rejected at Add time never enter the batch.
+		var members []int
+		for j, en := range entries {
+			proof, public, err := decodeVerifyArgs(en.args)
+			if err != nil {
+				errs[en.txIndex] = fmt.Errorf("%w: %w", ErrProofRejected, err)
+				continue
+			}
+			if err := b.Add(proof, public); err != nil {
+				errs[en.txIndex] = fmt.Errorf("%w: %w", ErrProofRejected, err)
+				continue
+			}
+			members = append(members, j)
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		bad := map[int]bool{}
+		if err := b.Check(); err != nil {
+			offenders, berr := b.Bisect()
+			if berr != nil {
+				// Folding itself failed (not a proof problem): leave the
+				// group un-batched; execution will verify each proof.
+				continue
+			}
+			for _, o := range offenders {
+				bad[o] = true
+			}
+		}
+		survivors := b.Len() - len(bad)
+		for pos, j := range members {
+			en := entries[j]
+			if bad[pos] {
+				errs[en.txIndex] = fmt.Errorf("%w: seal-time batch check", ErrProofRejected)
+				continue
+			}
+			v.markPreverified(en.digest, survivors)
+			verified++
+		}
+	}
+	return verified, errs
+}

@@ -1,8 +1,10 @@
 package contracts
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/zkdet/zkdet/internal/chain"
 	"github.com/zkdet/zkdet/internal/fr"
@@ -22,8 +24,33 @@ var ErrProofRejected = errors.New("contracts: proof rejected")
 // verifications. Gas per call follows the EIP-1108 precompile schedule for
 // the verifier's actual group-operation count (2 pairings plus the
 // MSM-folding scalar multiplications), so verification is O(1) on-chain.
+//
+// Two batching paths cut the amortised cost further:
+//
+//   - verifyBatch checks N proofs in one call, folding the N pairing
+//     statements into a single pairing (plonk.BatchVerify) and charging
+//     the pairing gas once.
+//   - The block producer can batch-verify proof-carrying transactions at
+//     seal time (BlockProofChecker) and mark their digests pre-verified;
+//     a subsequent verify call with a marked digest consumes the mark and
+//     charges the amortised schedule instead of re-running the pairing.
 type Verifier struct {
 	vk *plonk.VerifyingKey
+
+	// preverified maps a digest of the verify calldata to the size of the
+	// seal-time batch that validated it plus a use count (several
+	// transactions in one block may carry identical calldata — e.g. one
+	// proof settling many exchanges). Marks are consumed per use, so a
+	// replay beyond the batched count pays (and runs) full verification.
+	mu          sync.Mutex
+	preverified map[[32]byte]preMark
+}
+
+// preMark is one pre-verified calldata record: the batch size that set the
+// amortised gas and how many uses remain.
+type preMark struct {
+	batch int
+	uses  int
 }
 
 var _ chain.Contract = (*Verifier)(nil)
@@ -31,7 +58,7 @@ var _ chain.Contract = (*Verifier)(nil)
 // NewVerifier creates a verifier for one circuit's verification key.
 func NewVerifier(vk *plonk.VerifyingKey) *Verifier { return &Verifier{vk: vk} }
 
-// VerificationGas is the gas charged for one proof verification:
+// VerificationGas is the gas charged for one standalone proof verification:
 // 2 pairings + ~18+ℓ G1 scalar multiplications + folding additions.
 func VerificationGas(nbPublic int) uint64 {
 	return chain.GasPairingBase +
@@ -40,38 +67,149 @@ func VerificationGas(nbPublic int) uint64 {
 		24*chain.GasEcAdd
 }
 
-// Call dispatches; the single method is
+// BatchVerifiedGas is the amortised per-proof gas when a proof is checked
+// as part of a batch of n: the single pairing check is split across the
+// batch, while each proof still pays its own transcript/MSM folding (the
+// 18+ℓ scalar muls of a standalone verification plus 2 for its share of
+// the random-linear-combination fold).
+func BatchVerifiedGas(n, nbPublic int) uint64 {
+	if n < 1 {
+		n = 1
+	}
+	pairing := (chain.GasPairingBase + 2*chain.GasPairingPerPair) / uint64(n)
+	return pairing + uint64(18+nbPublic+2)*chain.GasEcMul + 24*chain.GasEcAdd
+}
+
+// verifyDigest is the key under which a verify call is marked pre-verified:
+// a hash of the exact calldata the verifier will see.
+func verifyDigest(args []byte) [32]byte { return sha256.Sum256(args) }
+
+// markPreverified records that the given verify calldata was validated in a
+// seal-time batch of the given size. Package-private: only the
+// BlockProofChecker, which actually ran the pairing, may call it.
+func (v *Verifier) markPreverified(digest [32]byte, batchSize int) {
+	v.mu.Lock()
+	if v.preverified == nil {
+		v.preverified = make(map[[32]byte]preMark)
+	}
+	m := v.preverified[digest]
+	m.batch = batchSize
+	m.uses++
+	v.preverified[digest] = m
+	v.mu.Unlock()
+}
+
+// consumePreverified spends one use of the digest's mark and returns its
+// batch size; ok is false when the digest was never marked (or all its
+// uses are spent).
+func (v *Verifier) consumePreverified(digest [32]byte) (int, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m, ok := v.preverified[digest]
+	if !ok {
+		return 0, false
+	}
+	m.uses--
+	if m.uses <= 0 {
+		delete(v.preverified, digest)
+	} else {
+		v.preverified[digest] = m
+	}
+	return m.batch, true
+}
+
+// Call dispatches. Methods:
 //
 //	verify(proofBytes, publicInput₁, …, publicInput_ℓ) → 0x01
+//	verifyBatch(batch₁, …, batch_N) → 0x01
 //
-// which reverts when the proof does not verify.
+// where each batchᵢ is itself EncodeArgs(proofBytes, publicInput₁, …).
+// Both revert when any proof does not verify.
 func (v *Verifier) Call(ctx *chain.CallContext, method string, args []byte) ([]byte, error) {
-	if method != "verify" {
+	switch method {
+	case "verify":
+		return v.verify(ctx, args)
+	case "verifyBatch":
+		return v.verifyBatch(ctx, args)
+	default:
 		return nil, fmt.Errorf("contracts: verifier has no method %q", method)
 	}
+}
+
+// decodeVerifyArgs splits verify calldata into the proof and its public
+// inputs.
+func decodeVerifyArgs(args []byte) (*plonk.Proof, []fr.Element, error) {
 	parts, err := DecodeArgsVariadic(args)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(parts) < 1 {
-		return nil, fmt.Errorf("%w: missing proof", ErrBadArgs)
+		return nil, nil, fmt.Errorf("%w: missing proof", ErrBadArgs)
 	}
 	proof, err := plonk.ProofFromBytes(parts[0])
 	if err != nil {
-		return nil, fmt.Errorf("contracts: %w", err)
+		return nil, nil, fmt.Errorf("contracts: %w", err)
 	}
 	public := make([]fr.Element, len(parts)-1)
 	for i, p := range parts[1:] {
 		e, err := fr.FromBytesCanonical(p)
 		if err != nil {
-			return nil, fmt.Errorf("contracts: public input %d: %w", i, err)
+			return nil, nil, fmt.Errorf("contracts: public input %d: %w", i, err)
 		}
 		public[i] = e
+	}
+	return proof, public, nil
+}
+
+func (v *Verifier) verify(ctx *chain.CallContext, args []byte) ([]byte, error) {
+	proof, public, err := decodeVerifyArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if n, ok := v.consumePreverified(verifyDigest(args)); ok {
+		// The block producer already ran this proof through a batched
+		// pairing check; charge the amortised schedule and skip the
+		// pairing entirely.
+		if err := ctx.Gas.Charge(BatchVerifiedGas(n, len(public))); err != nil {
+			return nil, err
+		}
+		return []byte{1}, nil
 	}
 	if err := ctx.Gas.Charge(VerificationGas(len(public))); err != nil {
 		return nil, err
 	}
 	if err := plonk.Verify(v.vk, proof, public); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrProofRejected, err)
+	}
+	return []byte{1}, nil
+}
+
+func (v *Verifier) verifyBatch(ctx *chain.CallContext, args []byte) ([]byte, error) {
+	batches, err := DecodeArgsVariadic(args)
+	if err != nil {
+		return nil, err
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadArgs)
+	}
+	n := len(batches)
+	proofs := make([]*plonk.Proof, n)
+	publics := make([][]fr.Element, n)
+	for i, b := range batches {
+		proofs[i], publics[i], err = decodeVerifyArgs(b)
+		if err != nil {
+			return nil, fmt.Errorf("contracts: batch entry %d: %w", i, err)
+		}
+	}
+	// One pairing for the whole call plus each proof's own folding work.
+	gas := uint64(chain.GasPairingBase + 2*chain.GasPairingPerPair)
+	for i := range publics {
+		gas += uint64(18+len(publics[i])+2)*chain.GasEcMul + 24*chain.GasEcAdd
+	}
+	if err := ctx.Gas.Charge(gas); err != nil {
+		return nil, err
+	}
+	if err := plonk.BatchVerify(v.vk, proofs, publics); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrProofRejected, err)
 	}
 	return []byte{1}, nil
@@ -86,4 +224,14 @@ func VerifyArgs(proof *plonk.Proof, public []fr.Element) []byte {
 		parts = append(parts, b[:])
 	}
 	return EncodeArgs(parts...)
+}
+
+// VerifyBatchArgs builds the calldata for a verifyBatch call: one nested
+// VerifyArgs blob per proof.
+func VerifyBatchArgs(proofs []*plonk.Proof, publics [][]fr.Element) []byte {
+	entries := make([][]byte, len(proofs))
+	for i := range proofs {
+		entries[i] = VerifyArgs(proofs[i], publics[i])
+	}
+	return EncodeArgs(entries...)
 }

@@ -24,6 +24,11 @@ type Marketplace struct {
 	// ix is the optional event indexer; when attached, provenance queries
 	// walk the index instead of contract storage.
 	ix *indexer.Indexer
+
+	// verifier and escrow are the deployed contract instances, retained so
+	// ProofChecker can wire seal-time batch verification.
+	verifier *contracts.Verifier
+	escrow   *contracts.Escrow
 }
 
 // PiKVerifierName is the deployment name of the π_k verifier used by the
@@ -54,17 +59,30 @@ func NewMarketplace(sys *System, storageNodes int) (*Marketplace, DeployGas, err
 	if err != nil {
 		return nil, gas, fmt.Errorf("core: preparing π_k verifier: %w", err)
 	}
-	if gas.Verifier, err = c.Deploy(PiKVerifierName, contracts.NewVerifier(vk), contracts.VerifierCodeSize); err != nil {
+	verifier := contracts.NewVerifier(vk)
+	if gas.Verifier, err = c.Deploy(PiKVerifierName, verifier, contracts.VerifierCodeSize); err != nil {
 		return nil, gas, err
 	}
-	if gas.Escrow, err = c.Deploy(contracts.EscrowName, contracts.NewEscrow(PiKVerifierName, 100), contracts.EscrowCodeSize); err != nil {
+	escrow := contracts.NewEscrow(PiKVerifierName, 100)
+	if gas.Escrow, err = c.Deploy(contracts.EscrowName, escrow, contracts.EscrowCodeSize); err != nil {
 		return nil, gas, err
 	}
 	store, err := storage.NewNetwork(storageNodes)
 	if err != nil {
 		return nil, gas, err
 	}
-	return &Marketplace{Sys: sys, Chain: c, Store: store}, gas, nil
+	return &Marketplace{Sys: sys, Chain: c, Store: store, verifier: verifier, escrow: escrow}, gas, nil
+}
+
+// ProofChecker returns a seal-time batch verifier covering this
+// deployment's proof-carrying transactions: direct π_k verifications and
+// escrow settlements. Plug it into node.Config.SealVerifier so the block
+// producer folds every block's proofs into one pairing check.
+func (m *Marketplace) ProofChecker() *contracts.BlockProofChecker {
+	bc := contracts.NewBlockProofChecker()
+	bc.AddVerifier(PiKVerifierName, m.verifier)
+	bc.AddEscrow(contracts.EscrowName, m.escrow)
+	return bc
 }
 
 // Asset is an owner's handle to a minted data asset: the on-chain token,

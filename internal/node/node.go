@@ -15,6 +15,19 @@ import (
 	"github.com/zkdet/zkdet/internal/chain"
 )
 
+// SealVerifier batch-verifies the proofs carried by the transactions of a
+// block being sealed. Implementations fold all proofs into one pairing
+// check and mark the valid ones pre-verified so execution skips the
+// expensive per-proof pairing (see contracts.BlockProofChecker, which
+// implements this structurally — the dependency points from the
+// application layer down to the node, never the reverse). The returned
+// error slice, when non-nil, has one entry per transaction; a non-nil
+// entry flags a transaction whose proof fails verification, which the
+// producer evicts instead of executing.
+type SealVerifier interface {
+	VerifyBatch(txs []*chain.Transaction) (verified int, errs []error)
+}
+
 // Config tunes the mempool and block producer.
 type Config struct {
 	// MaxPoolTxs caps pending+executing transactions; beyond it the pool
@@ -31,6 +44,11 @@ type Config struct {
 	// MaxNonceGap bounds how far ahead of the account nonce an explicit
 	// transaction nonce may run.
 	MaxNonceGap uint64
+	// SealVerifier, when set, batch-verifies proof-carrying transactions
+	// at seal time: valid proofs execute with their pairing check already
+	// done (amortised over the block), invalid ones are evicted before
+	// they waste block space.
+	SealVerifier SealVerifier
 }
 
 // DefaultConfig returns the tuning used by the daemon.
@@ -79,6 +97,11 @@ type Stats struct {
 	Evicted      uint64
 	BlocksSealed uint64
 	TxsIncluded  uint64
+	// Seal-time proof batching counters (zero unless a SealVerifier is
+	// configured): transactions whose proofs were validated in a block
+	// batch, and transactions evicted for carrying invalid proofs.
+	ProofsPreverified uint64
+	ProofsEvicted     uint64
 	// Inclusion latency (admission → sealed block) percentiles over the
 	// most recent window of included transactions.
 	LatencyP50 time.Duration
@@ -97,10 +120,12 @@ type Node struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	mu           sync.Mutex
-	running      bool
-	blocksSealed uint64
-	txsIncluded  uint64
+	mu                sync.Mutex
+	running           bool
+	blocksSealed      uint64
+	txsIncluded       uint64
+	proofsPreverified uint64
+	proofsEvicted     uint64
 	latencies    []time.Duration // ring buffer of recent inclusion latencies
 	latPos       int
 }
@@ -235,7 +260,38 @@ func (n *Node) run() {
 			if len(batch) == 0 {
 				return
 			}
-			for _, ptx := range batch {
+			execBatch := batch
+			if sv := n.cfg.SealVerifier; sv != nil {
+				// Batch-verify the block's proofs in one pairing check.
+				// Valid proofs execute pre-verified (the contract charges
+				// the amortised schedule and skips its own pairing);
+				// transactions with invalid proofs are evicted here, so
+				// they neither waste block space nor run an on-chain
+				// verification doomed to revert.
+				txs := make([]*chain.Transaction, len(batch))
+				for i, ptx := range batch {
+					txs[i] = &ptx.tx
+				}
+				verified, errs := sv.VerifyBatch(txs)
+				var evicted int
+				if len(errs) == len(batch) {
+					kept := make([]*poolTx, 0, len(batch))
+					for i, ptx := range batch {
+						if errs[i] != nil {
+							ptx.finish(TxResult{Err: errs[i]})
+							evicted++
+							continue
+						}
+						kept = append(kept, ptx)
+					}
+					execBatch = kept
+				}
+				n.mu.Lock()
+				n.proofsPreverified += uint64(verified)
+				n.proofsEvicted += uint64(evicted)
+				n.mu.Unlock()
+			}
+			for _, ptx := range execBatch {
 				r, err := n.chain.Submit(ptx.tx)
 				executed = append(executed, executedTx{ptx: ptx, receipt: r, err: err})
 			}
@@ -286,6 +342,8 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	s.BlocksSealed = n.blocksSealed
 	s.TxsIncluded = n.txsIncluded
+	s.ProofsPreverified = n.proofsPreverified
+	s.ProofsEvicted = n.proofsEvicted
 	lats := append([]time.Duration(nil), n.latencies...)
 	n.mu.Unlock()
 	if len(lats) > 0 {

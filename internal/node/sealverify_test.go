@@ -1,0 +1,108 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/zkdet/zkdet/internal/chain"
+)
+
+var errStubProof = errors.New("stub: invalid proof")
+
+// stubSealVerifier flags any transaction whose method is "bad" and counts
+// the rest as verified, standing in for contracts.BlockProofChecker (whose
+// real pairing path is covered in internal/contracts).
+type stubSealVerifier struct{}
+
+func (stubSealVerifier) VerifyBatch(txs []*chain.Transaction) (int, []error) {
+	errs := make([]error, len(txs))
+	verified := 0
+	for i, tx := range txs {
+		if tx.Method == "bad" {
+			errs[i] = errStubProof
+		} else {
+			verified++
+		}
+	}
+	return verified, errs
+}
+
+// TestSealVerifierEvictsFlaggedTxs pins the producer-side contract: flagged
+// transactions never execute or enter a block, their waiters get the
+// verifier's error, and the remaining transactions seal normally.
+func TestSealVerifierEvictsFlaggedTxs(t *testing.T) {
+	n, c := testNode(t, Config{
+		MaxBlockTxs:   8,
+		BlockInterval: 5 * time.Millisecond,
+		SealVerifier:  stubSealVerifier{},
+	})
+	// Distinct senders: evicting a transaction skips its execution, so a
+	// same-sender follow-up would hit the resulting nonce gap — that cost
+	// lands on whoever submitted the invalid proof, not on these senders.
+	senders := []chain.Address{
+		fund(c, "alice", 1_000_000),
+		fund(c, "bob", 1_000_000),
+		fund(c, "carol", 1_000_000),
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	type result struct {
+		res TxResult
+		err error
+	}
+	results := make([]result, 3)
+	methods := []string{"put", "bad", "put"}
+	done := make(chan int, 3)
+	for i, m := range methods {
+		go func(i int, m string) {
+			res, err := n.SubmitAndWait(ctx, chain.Transaction{
+				From: senders[i], Contract: "logbox", Method: m,
+			}, true)
+			results[i] = result{res, err}
+			done <- i
+		}(i, m)
+	}
+	for range methods {
+		<-done
+	}
+
+	if !errors.Is(results[1].err, errStubProof) {
+		t.Fatalf("flagged tx result: %v", results[1].err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].err != nil {
+			t.Fatalf("valid tx %d failed: %v", i, results[i].err)
+		}
+		if results[i].res.Receipt == nil || results[i].res.BlockNumber == 0 {
+			t.Fatalf("valid tx %d missing receipt/block", i)
+		}
+	}
+
+	// The evicted transaction is in no sealed block.
+	for num := uint64(1); ; num++ {
+		b, ok := c.BlockByNumber(num)
+		if !ok {
+			break
+		}
+		for _, h := range b.TxHashes {
+			if h == results[1].res.TxHash {
+				t.Fatal("evicted tx found in a sealed block")
+			}
+		}
+	}
+
+	s := n.Stats()
+	if s.ProofsPreverified < 2 {
+		t.Fatalf("ProofsPreverified = %d, want >= 2", s.ProofsPreverified)
+	}
+	if s.ProofsEvicted != 1 {
+		t.Fatalf("ProofsEvicted = %d, want 1", s.ProofsEvicted)
+	}
+	if s.TxsIncluded != 2 {
+		t.Fatalf("TxsIncluded = %d, want 2", s.TxsIncluded)
+	}
+}

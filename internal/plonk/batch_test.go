@@ -1,0 +1,169 @@
+package plonk
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// proveN makes N distinct proofs of the same circuit (Prove is randomised
+// by blinding, so each proof is unique) along with their public inputs.
+func proveN(t testing.TB, n int) (*VerifyingKey, []*Proof, [][]fr.Element) {
+	t.Helper()
+	cs, witness := buildMulAddCircuit()
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofs := make([]*Proof, n)
+	publics := make([][]fr.Element, n)
+	for i := range proofs {
+		proofs[i], err = Prove(pk, witness)
+		if err != nil {
+			t.Fatal(err)
+		}
+		publics[i] = witness[:2]
+	}
+	return vk, proofs, publics
+}
+
+// corruptOpening swaps the proof's ζ-opening commitment for an unrelated
+// point. The transcript replay and quotient identity still pass — the
+// corruption is only caught by the pairing — which is exactly the case
+// batch folding must not let slip through.
+func corruptOpening(p *Proof) {
+	s := fr.NewElement(0xbad)
+	g := bn254.G1Generator()
+	p.WZeta = bn254.G1ScalarMul(&g, &s)
+}
+
+func TestBatchVerifyAllValid(t *testing.T) {
+	vk, proofs, publics := proveN(t, 5)
+	if err := BatchVerify(vk, proofs, publics); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+func TestBatchVerifyEmptyAndMismatch(t *testing.T) {
+	vk, proofs, publics := proveN(t, 1)
+	if err := BatchVerify(vk, nil, nil); err != nil {
+		t.Fatalf("empty batch must pass vacuously: %v", err)
+	}
+	if err := BatchVerify(vk, proofs, publics[:0]); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if err := NewBatch(vk).Check(); err != nil {
+		t.Fatalf("empty Batch.Check must pass: %v", err)
+	}
+}
+
+// TestBatchVerifyRejectsCorrupted is the acceptance property: one corrupted
+// proof in a batch of N is rejected, bisection names exactly that proof,
+// and the other N-1 still verify individually.
+func TestBatchVerifyRejectsCorrupted(t *testing.T) {
+	const n, bad = 6, 2
+	vk, proofs, publics := proveN(t, n)
+	corruptOpening(proofs[bad])
+
+	err := BatchVerify(vk, proofs, publics)
+	if !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("corrupted batch accepted or wrong error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "[2]") {
+		t.Fatalf("error does not name the offending index: %v", err)
+	}
+
+	// The same through the incremental API.
+	b := NewBatch(vk)
+	for i := range proofs {
+		if err := b.Add(proofs[i], publics[i]); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	if err := b.Check(); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("Check on corrupted batch: %v", err)
+	}
+	offenders, err := b.Bisect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 1 || offenders[0] != bad {
+		t.Fatalf("Bisect = %v, want [%d]", offenders, bad)
+	}
+
+	// Every other proof still passes on its own.
+	for i := range proofs {
+		if i == bad {
+			continue
+		}
+		if err := Verify(vk, proofs[i], publics[i]); err != nil {
+			t.Fatalf("survivor %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestBatchBisectMultipleOffenders(t *testing.T) {
+	const n = 8
+	vk, proofs, publics := proveN(t, n)
+	corruptOpening(proofs[1])
+	corruptOpening(proofs[6])
+
+	b := NewBatch(vk)
+	for i := range proofs {
+		if err := b.Add(proofs[i], publics[i]); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	offenders, err := b.Bisect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 2 || offenders[0] != 1 || offenders[1] != 6 {
+		t.Fatalf("Bisect = %v, want [1 6]", offenders)
+	}
+}
+
+// TestBatchAddRejectsEarly pins that a proof failing the cheap checks
+// (here: wrong public inputs breaking the quotient identity) is rejected
+// at Add time and never pollutes the batch.
+func TestBatchAddRejectsEarly(t *testing.T) {
+	vk, proofs, publics := proveN(t, 1)
+	b := NewBatch(vk)
+	wrong := []fr.Element{fr.NewElement(36), fr.NewElement(12)}
+	if err := b.Add(proofs[0], wrong); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("Add with wrong publics: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("rejected proof entered the batch, Len = %d", b.Len())
+	}
+	if err := b.Add(proofs[0], publics[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatalf("valid single-proof batch rejected: %v", err)
+	}
+}
+
+// BenchmarkBatchVerify measures amortised per-proof verification cost at
+// several batch sizes; ns/proof should flatten as N grows (near-O(1)
+// marginal pairing cost).
+func BenchmarkBatchVerify(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		vk, proofs, publics := proveN(b, n)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := BatchVerify(vk, proofs, publics); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/proof")
+		})
+	}
+}

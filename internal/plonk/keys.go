@@ -2,6 +2,7 @@ package plonk
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/zkdet/zkdet/internal/bn254"
 	"github.com/zkdet/zkdet/internal/fr"
@@ -62,6 +63,39 @@ type VerifyingKey struct {
 
 	// K1, K2 are the permutation coset multipliers.
 	K1, K2 fr.Element
+
+	// Verifier caches, built once on first verification: the evaluation
+	// domain (so repeated Verify calls stop paying domain construction),
+	// the ω-power prefix feeding the public-input Lagrange terms, and the
+	// Miller-loop line tables for the two fixed G2 points.
+	cacheOnce sync.Once
+	domain    *poly.Domain
+	domainErr error
+	lagOmega  []fr.Element
+	g2Lines   [2]*bn254.G2LinePrecomp
+}
+
+// verifierCache builds (once) and returns the cached evaluation domain,
+// the ω-power prefix ω⁰ … ω^(max(1,NbPublic)-1), and the precomputed G2
+// line tables for the pairing check.
+func (vk *VerifyingKey) verifierCache() (*poly.Domain, []fr.Element, [2]*bn254.G2LinePrecomp, error) {
+	vk.cacheOnce.Do(func() {
+		vk.domain, vk.domainErr = poly.NewDomain(vk.N)
+		if vk.domainErr != nil {
+			return
+		}
+		n := vk.NbPublic
+		if n < 1 {
+			n = 1 // L_1 is always needed for the grand-product boundary term
+		}
+		vk.lagOmega = make([]fr.Element, n)
+		for i := range vk.lagOmega {
+			vk.lagOmega[i] = vk.domain.Element(uint64(i))
+		}
+		vk.g2Lines[0] = bn254.NewG2LinePrecomp(&vk.G2[0])
+		vk.g2Lines[1] = bn254.NewG2LinePrecomp(&vk.G2[1])
+	})
+	return vk.domain, vk.lagOmega, vk.g2Lines, vk.domainErr
 }
 
 // Setup preprocesses a constraint system against an SRS, producing the

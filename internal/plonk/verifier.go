@@ -6,16 +6,43 @@ import (
 	"github.com/zkdet/zkdet/internal/bn254"
 	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/kzg"
-	"github.com/zkdet/zkdet/internal/poly"
 	"github.com/zkdet/zkdet/internal/transcript"
 )
 
-// Verify checks a proof against the verifying key and public inputs. Its
-// cost is 2 pairings plus a handful of scalar multiplications — independent
-// of the circuit size except for the O(ℓ) public-input Lagrange terms.
-func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
+// pairingTerms is the deferred pairing statement of one verified proof:
+// the proof is valid iff e(L, G2[0]) · e(-W, [τ]G2) == 1. prepare derives
+// the terms; Verify checks one statement, Batch folds many into a single
+// multi-pairing.
+type pairingTerms struct {
+	L bn254.G1Affine
+	W bn254.G1Affine
+}
+
+// lagrangePrefix evaluates L_0(ζ) … L_{len(omega)-1}(ζ) with one batched
+// inversion: L_i(ζ) = ω^i · Z_H(ζ) / (N · (ζ - ω^i)).
+func lagrangePrefix(omega []fr.Element, n uint64, zeta, zh *fr.Element) []fr.Element {
+	dens := make([]fr.Element, len(omega))
+	nEl := fr.NewElement(n)
+	for i := range omega {
+		dens[i].Sub(zeta, &omega[i])
+		dens[i].Mul(&dens[i], &nEl)
+	}
+	fr.BatchInvert(dens)
+	out := make([]fr.Element, len(omega))
+	for i := range omega {
+		out[i].Mul(zh, &omega[i])
+		out[i].Mul(&out[i], &dens[i])
+	}
+	return out
+}
+
+// prepare replays the transcript, checks the quotient identity at ζ, and
+// reduces the two KZG opening checks to a single pairing statement. It is
+// everything Verify does except the pairing itself, so batch verification
+// can run it per proof and fold the statements.
+func prepare(vk *VerifyingKey, proof *Proof, public []fr.Element) (pairingTerms, error) {
 	if len(public) != vk.NbPublic {
-		return fmt.Errorf("%w: got %d, want %d", ErrWrongPublic, len(public), vk.NbPublic)
+		return pairingTerms{}, fmt.Errorf("%w: got %d, want %d", ErrWrongPublic, len(public), vk.NbPublic)
 	}
 
 	// Reconstruct the challenges.
@@ -40,12 +67,12 @@ func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
 	tr.AppendPoint("w_zeta_omega", &proof.WZetaOmega)
 	u := tr.ChallengeScalar("u")
 
-	domain, err := poly.NewDomain(vk.N)
+	domain, lagOmega, _, err := vk.verifierCache()
 	if err != nil {
-		return fmt.Errorf("plonk: %w", err)
+		return pairingTerms{}, fmt.Errorf("plonk: %w", err)
 	}
 
-	// Z_H(ζ), L1(ζ) and PI(ζ).
+	// Z_H(ζ), then L_0(ζ) … L_{ℓ-1}(ζ) in one batched inversion.
 	one := fr.One()
 	var zetaN fr.Element
 	zetaN.ExpUint64(&zeta, vk.N)
@@ -54,16 +81,16 @@ func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
 	if zh.IsZero() {
 		// ζ landed inside the domain (probability ~ N/r): reject rather
 		// than divide by zero.
-		return ErrProofInvalid
+		return pairingTerms{}, ErrProofInvalid
 	}
+	lag := lagrangePrefix(lagOmega, vk.N, &zeta, &zh)
 	var pi fr.Element
 	for i := range public {
-		li := domain.LagrangeEval(uint64(i), &zeta)
 		var t fr.Element
-		t.Mul(&li, &public[i])
+		t.Mul(&lag[i], &public[i])
 		pi.Sub(&pi, &t)
 	}
-	l1 := domain.LagrangeEval(0, &zeta)
+	l1 := lag[0]
 
 	// Gate constraint value at ζ.
 	var gate, t fr.Element
@@ -136,7 +163,7 @@ func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
 	var lhs fr.Element
 	lhs.Mul(&tEval, &zh)
 	if !lhs.Equal(&rhs) {
-		return fmt.Errorf("%w: quotient identity", ErrProofInvalid)
+		return pairingTerms{}, fmt.Errorf("%w: quotient identity", ErrProofInvalid)
 	}
 
 	// Batched KZG check. Fold the ζ-opened commitments and values with v.
@@ -147,63 +174,71 @@ func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
 		proof.TLo, proof.TMid, proof.THi,
 	}
 	evals := ev.evalList()
-	var foldCm bn254.G1Jac
-	foldCm.SetInfinity()
 	foldVal := fr.Zero()
-	coeff := fr.One()
-	for i := range cms {
-		var tj bn254.G1Jac
-		tj.ScalarMul(&cms[i], &coeff)
-		foldCm.AddAssign(&tj)
+	vPowers := fr.Powers(&v, len(cms))
+	for i := range evals {
 		var tv fr.Element
-		tv.Mul(&evals[i], &coeff)
+		tv.Mul(&evals[i], &vPowers[i])
 		foldVal.Add(&foldVal, &tv)
-		coeff.Mul(&coeff, &v)
 	}
-	var fCm bn254.G1Affine
-	fCm.FromJacobian(&foldCm)
 
 	// Combine the two opening checks with u:
 	// e(Fζ + ζ·Wζ + u·(Fζω + ζω·Wζω) - E, G2) · e(-(Wζ + u·Wζω), τG2) == 1
-	// where E = (valζ + u·z̄ω)·G1 and Fζω = [z].
+	// where E = (valζ + u·z̄ω)·G1 and Fζω = [z]. The whole left-hand G1
+	// point — the v-fold of the 15 commitments plus the four correction
+	// terms — is one MSM instead of twenty serial scalar multiplications.
 	g1 := bn254.G1Generator()
 	var zetaOmega fr.Element
 	zetaOmega.Mul(&zeta, &domain.Gen)
-
-	var accJ bn254.G1Jac
-	accJ.SetInfinity()
-	var tj bn254.G1Jac
-	tj.FromAffine(&fCm)
-	accJ.AddAssign(&tj)
-	tj.ScalarMul(&proof.WZeta, &zeta)
-	accJ.AddAssign(&tj)
-	var uZ fr.Element
-	tj.ScalarMul(&proof.Z, &u)
-	accJ.AddAssign(&tj)
-	uZ.Mul(&u, &zetaOmega)
-	tj.ScalarMul(&proof.WZetaOmega, &uZ)
-	accJ.AddAssign(&tj)
+	var uZOmega fr.Element
+	uZOmega.Mul(&u, &zetaOmega)
 	var eScalar fr.Element
 	eScalar.Mul(&u, &ev.ZOmega)
 	eScalar.Add(&eScalar, &foldVal)
 	eScalar.Neg(&eScalar)
-	tj.ScalarMul(&g1, &eScalar)
-	accJ.AddAssign(&tj)
-	var lhsPoint bn254.G1Affine
-	lhsPoint.FromJacobian(&accJ)
+
+	pts := make([]bn254.G1Affine, 0, len(cms)+4)
+	scs := make([]fr.Element, 0, len(cms)+4)
+	pts = append(pts, cms...)
+	scs = append(scs, vPowers...)
+	pts = append(pts, proof.WZeta, proof.Z, proof.WZetaOmega, g1)
+	scs = append(scs, zeta, u, uZOmega, eScalar)
+
+	var terms pairingTerms
+	L, err := bn254.G1MSM(pts, scs)
+	if err != nil {
+		return pairingTerms{}, fmt.Errorf("plonk: %w", err)
+	}
+	terms.L = L
 
 	var wJ bn254.G1Jac
+	var tj bn254.G1Jac
 	wJ.FromAffine(&proof.WZeta)
 	tj.ScalarMul(&proof.WZetaOmega, &u)
 	wJ.AddAssign(&tj)
-	var wSum bn254.G1Affine
-	wSum.FromJacobian(&wJ)
-	var negW bn254.G1Affine
-	negW.Neg(&wSum)
+	terms.W.FromJacobian(&wJ)
+	return terms, nil
+}
 
-	ok, err := bn254.PairingCheck(
-		[]bn254.G1Affine{lhsPoint, negW},
-		[]bn254.G2Affine{vk.G2[0], vk.G2[1]},
+// Verify checks a proof against the verifying key and public inputs. Its
+// cost is one two-pair pairing check (against precomputed G2 line tables
+// cached on the verifying key) plus a handful of scalar multiplications —
+// independent of the circuit size except for the O(ℓ) public-input
+// Lagrange terms, which share a single batched inversion.
+func Verify(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
+	terms, err := prepare(vk, proof, public)
+	if err != nil {
+		return err
+	}
+	_, _, lines, err := vk.verifierCache()
+	if err != nil {
+		return fmt.Errorf("plonk: %w", err)
+	}
+	var negW bn254.G1Affine
+	negW.Neg(&terms.W)
+	ok, err := bn254.PairingCheckPrecomp(
+		[]bn254.G1Affine{terms.L, negW},
+		lines[:],
 	)
 	if err != nil {
 		return fmt.Errorf("plonk: %w", err)
