@@ -1,19 +1,23 @@
 # Developer entry points. `make check` is the full pre-merge gate: it runs
-# vet, a full build, the complete test suite, and the race detector over
-# the concurrency-bearing packages (the parallel FFT/MSM/prover hot paths).
+# vet, a full build, the repo's own static-analysis suite (zkdet-lint), the
+# complete test suite, and the race detector over the concurrency-bearing
+# packages (the parallel FFT/MSM/prover hot paths).
 
 GO ?= go
 
 # Packages that spawn worker pools or serve concurrent clients; these get
 # the race detector. contracts is here for the seal-time batch-verification
 # path: the block producer marks proofs pre-verified concurrently with
-# contract execution consuming the marks.
+# contract execution consuming the marks. storage/core/zkdet-node joined
+# once their lock annotations landed: the DHT repair path, the circuit-key
+# cache, and the JSON-RPC daemon all serve concurrent callers.
 RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
-	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/...
+	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/... \
+	./internal/storage/... ./internal/core/... ./cmd/zkdet-node/...
 
-.PHONY: check vet build test race bench bench-verify node-demo
+.PHONY: check vet build lint test race fuzz-smoke bench bench-verify node-demo
 
-check: vet build test race
+check: vet build lint test race
 
 vet:
 	$(GO) vet ./...
@@ -21,11 +25,30 @@ vet:
 build:
 	$(GO) build ./...
 
+# zkdet-lint is the repo-specific analyzer suite (cryptocompare,
+# secretscope, gaspurity, lockguard, panicfree), stdlib-only, defined in
+# cmd/zkdet-lint. Non-zero exit on any finding; suppressions require a
+# written justification (see DESIGN.md §9).
+lint:
+	$(GO) run ./cmd/zkdet-lint ./...
+
 test:
 	$(GO) test ./...
 
+# Proving under the race detector is 5-10x slower than native (internal/core
+# re-proves full exchange lifecycles), so the default 10m per-package test
+# timeout is not enough; raise it rather than thin out coverage.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -timeout=30m $(RACE_PKGS)
+
+# Native Go fuzzing, smoke-length: 10s per target over the byte-level
+# attack surfaces (field-element decoding, transcript challenge
+# derivation). CI runs this; `go test -fuzz` with a longer -fuzztime digs
+# deeper locally.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzFromBytesRoundTrip$$' -fuzztime=10s ./internal/fr/
+	$(GO) test -run='^$$' -fuzz='^FuzzSetBytesCanonical$$' -fuzztime=10s ./internal/fr/
+	$(GO) test -run='^$$' -fuzz='^FuzzTranscriptChallenge$$' -fuzztime=10s ./internal/transcript/
 
 # Package-level prover-stack benchmarks (Domain.FFT, G1MSM, kzg.Commit,
 # plonk.Prove at 2^10..2^16); see EXPERIMENTS.md for recorded trajectories.

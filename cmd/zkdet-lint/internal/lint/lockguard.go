@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuard is the annotation-driven lock-discipline checker. Struct fields
+// carrying a
+//
+//	// guarded by <mutexField>
+//
+// comment (doc or trailing) may only be accessed while the named mutex of
+// the same receiver is held. The checker walks each function linearly,
+// tracking Lock/RLock/Unlock/RUnlock calls per receiver variable, with
+// branch-aware state: an if-branch that returns does not poison the
+// fall-through state, loop and case bodies are checked under the state at
+// entry, and deferred unlocks keep the lock held to the end of the
+// function.
+//
+// Escape hatches, for helpers that run under a caller's lock:
+//   - functions whose name ends in "Locked", and
+//   - functions whose doc comment contains "caller holds",
+//
+// are assumed to be called with the lock held. Function literals are
+// analyzed with no locks held (they typically run on other goroutines);
+// literals that lock for themselves pass naturally.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated 'guarded by mu' must only be accessed with the named mutex held",
+	Run:  runLockGuard,
+}
+
+// guardKey identifies "variable v's mutex named mu".
+type guardKey struct {
+	obj types.Object
+	mu  string
+}
+
+type lockState map[guardKey]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// collectGuardedFields maps annotated field objects to their mutex name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	note := func(field *ast.Field, cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "guarded by ")
+			if idx < 0 {
+				continue
+			}
+			mu := strings.Fields(c.Text[idx+len("guarded by "):])
+			if len(mu) == 0 {
+				continue
+			}
+			name := strings.TrimRight(mu[0], ".,;")
+			for _, id := range field.Names {
+				if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+					guarded[obj] = name
+				}
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				note(field, field.Doc)
+				note(field, field.Comment)
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func runLockGuard(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "caller holds") {
+				continue
+			}
+			w := &lockWalker{pass: pass, guarded: guarded, fn: fn}
+			w.walkStmts(fn.Body.List, lockState{})
+		}
+	}
+}
+
+type lockWalker struct {
+	pass    *Pass
+	guarded map[types.Object]string
+	fn      *ast.FuncDecl
+}
+
+// lockOp decodes statements of the form v.<mu>.Lock() / RLock / Unlock /
+// RUnlock, returning the guard key and whether the op acquires.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (guardKey, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return guardKey{}, false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return guardKey{}, false, false
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return guardKey{}, false, false
+	}
+	recv, ok := muSel.X.(*ast.Ident)
+	if !ok {
+		return guardKey{}, false, false
+	}
+	obj := w.pass.Pkg.Info.Uses[recv]
+	if obj == nil {
+		return guardKey{}, false, false
+	}
+	return guardKey{obj: obj, mu: muSel.Sel.Name}, acquire, true
+}
+
+// checkExpr reports guarded-field accesses in expr that happen while the
+// required lock is not held. Function literals are skipped here; the
+// statement walker analyzes them with a fresh state.
+func (w *lockWalker) checkExpr(expr ast.Expr, state lockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fieldObj := w.pass.Pkg.Info.Uses[sel.Sel]
+		if fieldObj == nil {
+			return true
+		}
+		mu, isGuarded := w.guarded[fieldObj]
+		if !isGuarded {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		recvObj := w.pass.Pkg.Info.Uses[recv]
+		if recvObj == nil {
+			return true
+		}
+		// A value constructed inside this function is not yet shared;
+		// constructors may initialize guarded fields lock-free.
+		if within(recvObj.Pos(), w.fn.Body) {
+			return true
+		}
+		if !state[guardKey{obj: recvObj, mu: mu}] {
+			w.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s.%s but accessed without holding it",
+				recv.Name, sel.Sel.Name, recv.Name, mu)
+		}
+		return true
+	})
+}
+
+// walkFuncLit analyzes a function literal with no locks held.
+func (w *lockWalker) walkFuncLit(lit *ast.FuncLit) {
+	w.walkStmts(lit.Body.List, lockState{})
+}
+
+// funcLits collects the function literals directly inside expr.
+func funcLits(expr ast.Expr) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	if expr == nil {
+		return nil
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+// walkStmts processes a statement list under state, mutating it as locks
+// are taken and released. It returns whether the list definitely
+// terminates (ends in return or panic), which lets if-branches that bail
+// out early keep the fall-through state clean.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, state lockState) bool {
+	terminated := false
+	for _, stmt := range stmts {
+		if terminated {
+			// Unreachable code; stop tracking rather than guess.
+			return true
+		}
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, acquire, isOp := w.lockOp(call); isOp {
+					if acquire {
+						state[key] = true
+					} else {
+						delete(state, key)
+					}
+					continue
+				}
+				if isPanicCall(call) {
+					w.checkExpr(s.X, state)
+					terminated = true
+					continue
+				}
+			}
+			w.checkExpr(s.X, state)
+			for _, lit := range funcLits(s.X) {
+				w.walkFuncLit(lit)
+			}
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				w.checkExpr(e, state)
+				for _, lit := range funcLits(e) {
+					w.walkFuncLit(lit)
+				}
+			}
+			for _, e := range s.Lhs {
+				w.checkExpr(e, state)
+			}
+		case *ast.IncDecStmt:
+			w.checkExpr(s.X, state)
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held through every return
+			// below; anything else deferred runs with an unknowable state,
+			// so analyze literals conservatively lock-free.
+			if _, _, isOp := w.lockOp(s.Call); isOp {
+				continue
+			}
+			for _, lit := range funcLits(s.Call.Fun) {
+				w.walkFuncLit(lit)
+			}
+			for _, arg := range s.Call.Args {
+				w.checkExpr(arg, state)
+			}
+		case *ast.GoStmt:
+			for _, lit := range funcLits(s.Call.Fun) {
+				w.walkFuncLit(lit)
+			}
+			for _, arg := range s.Call.Args {
+				w.checkExpr(arg, state)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				w.checkExpr(e, state)
+			}
+			terminated = true
+		case *ast.BlockStmt:
+			terminated = w.walkStmts(s.List, state)
+		case *ast.IfStmt:
+			w.walkIf(s, state)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				w.walkStmts([]ast.Stmt{s.Init}, state)
+			}
+			w.checkExpr(s.Cond, state)
+			w.walkStmts(s.Body.List, state.clone())
+		case *ast.RangeStmt:
+			w.checkExpr(s.X, state)
+			w.walkStmts(s.Body.List, state.clone())
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				w.walkStmts([]ast.Stmt{s.Init}, state)
+			}
+			w.checkExpr(s.Tag, state)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						w.checkExpr(e, state)
+					}
+					w.walkStmts(cc.Body, state.clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.walkStmts(cc.Body, state.clone())
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						w.walkStmts([]ast.Stmt{cc.Comm}, state.clone())
+					}
+					w.walkStmts(cc.Body, state.clone())
+				}
+			}
+		case *ast.SendStmt:
+			w.checkExpr(s.Chan, state)
+			w.checkExpr(s.Value, state)
+		case *ast.LabeledStmt:
+			terminated = w.walkStmts([]ast.Stmt{s.Stmt}, state)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							w.checkExpr(v, state)
+						}
+					}
+				}
+			}
+		}
+	}
+	return terminated
+}
+
+// walkIf handles branch state: each arm runs on a copy; an arm that
+// terminates (returns/panics) contributes nothing to the fall-through
+// state, otherwise the conservative merge keeps only locks held on every
+// surviving path.
+func (w *lockWalker) walkIf(s *ast.IfStmt, state lockState) {
+	if s.Init != nil {
+		w.walkStmts([]ast.Stmt{s.Init}, state)
+	}
+	w.checkExpr(s.Cond, state)
+	bodyState := state.clone()
+	bodyTerm := w.walkStmts(s.Body.List, bodyState)
+	var elseState lockState
+	elseTerm := false
+	if s.Else != nil {
+		elseState = state.clone()
+		elseTerm = w.walkStmts([]ast.Stmt{s.Else}, elseState)
+	}
+	switch {
+	case s.Else == nil:
+		if !bodyTerm {
+			intersect(state, bodyState)
+		}
+	case bodyTerm && !elseTerm:
+		replace(state, elseState)
+	case elseTerm && !bodyTerm:
+		replace(state, bodyState)
+	case !bodyTerm && !elseTerm:
+		replace(state, bodyState)
+		intersect(state, elseState)
+	}
+}
+
+func intersect(dst, other lockState) {
+	for k := range dst {
+		if !other[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+func replace(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

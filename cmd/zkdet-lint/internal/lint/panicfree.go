@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicFree keeps library packages panic-free: a panic that is reachable
+// from user input (malformed proof bytes, wrong-size domains, bad calldata)
+// takes a whole node down instead of failing one request. Library code must
+// return errors; panics are allowed only in
+//
+//   - init functions (programmer-constant setup),
+//   - Must*/must* constructors, whose documented contract is to panic, and
+//   - package main (CLIs may crash on their own input).
+//
+// Anything else needs an error return, or a //lint:ignore panicfree
+// directive whose justification explains why the condition is a programmer
+// invariant rather than reachable input.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "library packages must return errors instead of panicking, outside init and Must* constructors",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	if pass.Pkg.Types.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if name == "init" || strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isPanicCall(call) {
+					return true
+				}
+				// Only flag panics resolved to the builtin (not a local
+				// shadow).
+				if id := call.Fun.(*ast.Ident); pass.Pkg.Info.Uses[id] != nil && pass.Pkg.Info.Uses[id].Pkg() != nil {
+					return true
+				}
+				pass.Reportf(call.Pos(), "panic in library function %s; return an error instead", name)
+				return true
+			})
+		}
+	}
+}

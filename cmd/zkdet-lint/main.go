@@ -1,0 +1,92 @@
+// Command zkdet-lint runs the repo's static-analysis suite: five analyzers
+// enforcing invariants the type system cannot see — canonical crypto
+// comparisons, ceremony-secret hygiene, gas-metered state writes, annotated
+// lock discipline, and panic-free library code. See DESIGN.md §9.
+//
+// Usage:
+//
+//	zkdet-lint [-only analyzer[,analyzer]] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 0 when clean, 1 when findings are reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/zkdet/zkdet/cmd/zkdet-lint/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("zkdet-lint: unknown analyzer %q", name)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("zkdet-lint: %v", err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatalf("zkdet-lint: %v", err)
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fatalf("zkdet-lint: %v", err)
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, "")
+		if err != nil {
+			fatalf("zkdet-lint: %v", err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "zkdet-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

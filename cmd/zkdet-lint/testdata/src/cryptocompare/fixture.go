@@ -1,0 +1,63 @@
+// Package fixture seeds positive and negative cases for the cryptocompare
+// analyzer. It is excluded from the build (testdata) but must type-check.
+package fixture
+
+import (
+	"reflect"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+func rawElementCompare(a, b fr.Element) bool {
+	return a == b // want "raw == on fr.Element"
+}
+
+func rawElementNotEqual(a, b fr.Element) bool {
+	if a != b { // want "raw != on fr.Element"
+		return true
+	}
+	return false
+}
+
+func rawPointCompare(p, q bn254.G1Affine) bool {
+	return p == q // want "raw == on bn254.G1Affine"
+}
+
+func rawZeroCompare(a fr.Element) bool {
+	return a == fr.Zero() // want "raw == on fr.Element"
+}
+
+func deepEqualElements(a, b []fr.Element) bool {
+	return reflect.DeepEqual(a, b) // ok: slice, not a bare protected value
+}
+
+func deepEqualElement(a, b fr.Element) bool {
+	return reflect.DeepEqual(a, b) // want "reflect.DeepEqual on fr.Element"
+}
+
+func deepEqualPointPtr(p, q *bn254.G2Affine) bool {
+	return reflect.DeepEqual(p, q) // want "reflect.DeepEqual on bn254.G2Affine"
+}
+
+// Negative cases: the canonical paths and non-protected comparisons.
+
+func canonicalCompare(a, b fr.Element) bool {
+	return a.Equal(&b) // ok: canonical path
+}
+
+func pointerIdentity(a, b *fr.Element) bool {
+	return a == b // ok: pointer identity, not value comparison
+}
+
+func nilCheck(a *bn254.G1Affine) bool {
+	return a == nil // ok
+}
+
+func basicCompare(a, b int) bool {
+	return a == b // ok: not a protected type
+}
+
+func constCompare(n int) bool {
+	return n == fr.Bytes // ok: untyped constant from fr, not a struct
+}

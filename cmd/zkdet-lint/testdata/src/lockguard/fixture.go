@@ -1,0 +1,122 @@
+// Package fixture seeds positive and negative cases for the lockguard
+// analyzer: fields annotated "guarded by mu" must be accessed under the
+// named mutex.
+package fixture
+
+import "sync"
+
+// Counter is the annotated struct under test.
+type Counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+	// guarded by mu
+	names map[string]int
+
+	unguarded int
+}
+
+// RW exercises RWMutex and a trailing-comment annotation.
+type RW struct {
+	mu   sync.RWMutex
+	data []int // guarded by mu
+}
+
+// badRead reads a guarded field lock-free.
+func badRead(c *Counter) int {
+	return c.n // want "c.n is guarded by c.mu"
+}
+
+// badWrite writes one lock-free.
+func badWrite(c *Counter) {
+	c.n++ // want "c.n is guarded by c.mu"
+}
+
+// badAfterUnlock touches the field after releasing.
+func badAfterUnlock(c *Counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.names["x"]++ // want "c.names is guarded by c.mu"
+}
+
+// badBranchLeak releases in one arm and still falls through to an access.
+func badBranchLeak(c *Counter, cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+	} else {
+		c.n++
+	}
+	c.n++ // want "c.n is guarded by c.mu"
+	c.mu.Unlock()
+}
+
+// badGoroutine captures the receiver into an unlocked goroutine.
+func badGoroutine(c *Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "c.n is guarded by c.mu"
+	}()
+}
+
+// Negative cases.
+
+// goodLocked holds the lock across the access.
+func goodLocked(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// goodEarlyReturn unlocks on the bail-out path only; the fall-through still
+// holds the lock.
+func goodEarlyReturn(c *Counter, stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodRLock accepts a read lock for reads.
+func goodRLock(r *RW) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.data)
+}
+
+// bumpLocked is exempt by naming convention: the caller holds c.mu.
+func bumpLocked(c *Counter) {
+	c.n++
+}
+
+// bumpDocumented is exempt by doc convention; caller holds c.mu.
+func bumpDocumented(c *Counter) {
+	c.n++
+}
+
+// NewCounter initializes guarded fields before the value is shared.
+func NewCounter() *Counter {
+	c := &Counter{names: make(map[string]int)}
+	c.n = 1
+	return c
+}
+
+// unguardedAccess is free to touch unannotated fields.
+func unguardedAccess(c *Counter) int {
+	return c.unguarded
+}
+
+// goodClosureLocks shows a literal that takes the lock for itself.
+func goodClosureLocks(c *Counter) func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}

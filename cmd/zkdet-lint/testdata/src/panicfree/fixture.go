@@ -1,0 +1,59 @@
+// Package fixture seeds positive and negative cases for the panicfree
+// analyzer: library code returns errors; panics belong to init and Must*
+// constructors.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var table []int
+
+func init() {
+	if len(table) > 0 {
+		panic("impossible") // ok: init may panic on programmer error
+	}
+}
+
+// Decode is library surface reachable from user input.
+func Decode(b []byte) (int, error) {
+	if len(b) == 0 {
+		panic("empty input") // want "panic in library function Decode"
+	}
+	return int(b[0]), nil
+}
+
+// helper panics deep in a call chain; still flagged.
+func helper(n int) int {
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("negative %d", n)) // want "panic in library function helper"
+	}
+	return n
+}
+
+// MustDecode is the documented panicking wrapper: allowed.
+func MustDecode(b []byte) int {
+	v, err := DecodeSafe(b)
+	if err != nil {
+		panic(err) // ok: Must* constructor
+	}
+	return v
+}
+
+// mustIndex is the unexported spelling of the same convention.
+func mustIndex(n int) int {
+	if n < 0 {
+		panic("bad index") // ok: must* helper
+	}
+	return n
+}
+
+// DecodeSafe is the required shape.
+func DecodeSafe(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errors.New("empty input")
+	}
+	return int(b[0]), nil
+}

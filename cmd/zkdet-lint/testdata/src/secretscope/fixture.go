@@ -1,0 +1,99 @@
+// Package kzg (fixture) seeds positive and negative cases for the
+// secretscope analyzer, which only fires inside the trusted-setup package.
+package kzg
+
+import (
+	"crypto/rand"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Updater mimics a ceremony accumulator.
+type Updater struct {
+	stash fr.Element
+}
+
+// leakByReturn derives a secret and returns it: the classic toxic-waste
+// leak.
+func leakByReturn() fr.Element {
+	tau := fr.MustRandom()
+	return tau // want `ceremony secret "tau" is returned`
+}
+
+// leakByStore parks the secret in a long-lived struct.
+func (u *Updater) leakByStore() {
+	s := fr.MustRandom()
+	u.stash = s // want `ceremony secret "s" escapes`
+}
+
+// neverZeroized uses the secret and silently drops it on the floor — the
+// frame (and any spilled copy) still holds it.
+func neverZeroized(base *fr.Element) fr.Element {
+	s := fr.MustRandom() // want `ceremony secret "s" is never zeroized`
+	var out fr.Element
+	out.Mul(base, &s)
+	return out
+}
+
+// errPathSecret covers the two-value fr.Random form.
+func errPathSecret() error {
+	s, err := fr.Random(rand.Reader) // want `ceremony secret "s" is never zeroized`
+	if err != nil {
+		return err
+	}
+	var sink fr.Element
+	sink.Add(&sink, &s)
+	return nil
+}
+
+// powersAreSecret propagates secrecy through fr.Powers.
+func powersAreSecret() {
+	s := fr.MustRandom()
+	ps := fr.Powers(&s, 8) // want `ceremony secret "ps" is never zeroized`
+	_ = ps
+	s.SetZero()
+}
+
+// markedToxic shows the annotation route for indirectly-derived secrets.
+func markedToxic(entropy []byte) {
+	// toxic: hashed contributor entropy
+	s := fr.FromBytes(entropy) // want `ceremony secret "s" is never zeroized`
+	var sink fr.Element
+	sink.Add(&sink, &s)
+}
+
+// Negative cases.
+
+// cleanUpdate derives, uses and destroys the secret: the required shape.
+func cleanUpdate(base *fr.Element) fr.Element {
+	s := fr.MustRandom()
+	defer s.SetZero()
+	var out fr.Element
+	out.Mul(base, &s)
+	return out
+}
+
+// cleanViaHelper destroys the secret through a zeroize helper.
+func cleanViaHelper() {
+	s := fr.MustRandom()
+	ps := fr.Powers(&s, 4)
+	zeroizeScalars(ps)
+	s.SetZero()
+}
+
+// zeroizeScalars wipes a secret-bearing slice.
+func zeroizeScalars(xs []fr.Element) {
+	for i := range xs {
+		xs[i].SetZero()
+	}
+}
+
+// publicRandomness outside package kzg would not be checked at all; here it
+// still must be zeroized, proving the analyzer keys on derivation, not
+// variable names.
+func publicRandomness() {
+	combiner := fr.MustRandom()
+	defer combiner.SetZero()
+	var acc fr.Element
+	acc.Mul(&acc, &combiner)
+}

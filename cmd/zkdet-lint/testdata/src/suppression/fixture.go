@@ -1,0 +1,30 @@
+// Package fixture exercises the //lint:ignore machinery: a justified
+// suppression silences a finding, a bare one is itself reported, and an
+// unsuppressed finding still fires.
+package fixture
+
+// justified carries a reason, so its panic is silenced.
+func justified(n int) int {
+	if n < 0 {
+		//lint:ignore panicfree exponent sign is a compile-time invariant at every call site
+		panic("negative")
+	}
+	return n
+}
+
+// bare has no justification: the directive itself is the finding.
+func bare(n int) int {
+	if n < 0 {
+		//lint:ignore panicfree
+		panic("negative")
+	}
+	return n
+}
+
+// unsuppressed still fires normally.
+func unsuppressed(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}

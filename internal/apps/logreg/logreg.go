@@ -231,7 +231,15 @@ func (t *Trainer) Apply(src core.Dataset) (core.Dataset, error) {
 // witness wires and constrains ‖∇J(β)‖∞ ≤ ε over the source wires.
 func (t *Trainer) Gadget(b *circuit.Builder, src []circuit.Variable) []circuit.Variable {
 	if len(src) != 2+t.N*(t.K+1) {
-		panic("logreg: source wire count does not match trainer shape")
+		// Processor fixes the signature, so shape errors are deferred to
+		// the builder and surface at Compile.
+		b.Fail("logreg: %d source wires do not match trainer shape %dx%d (want %d)",
+			len(src), t.N, t.K, 2+t.N*(t.K+1))
+		out := make([]circuit.Variable, t.K+2)
+		for i := range out {
+			out[i] = b.Zero()
+		}
+		return out
 	}
 	// Recover the model values by training on the wires' current values.
 	data := make(core.Dataset, len(src))

@@ -119,6 +119,7 @@ func (z *Fp12) Inverse(x *Fp12) *Fp12 {
 // Exp sets z = x^e for non-negative e and returns z.
 func (z *Fp12) Exp(x *Fp12, e *big.Int) *Fp12 {
 	if e.Sign() < 0 {
+		//lint:ignore panicfree exponents here are the fixed final-exponentiation constants of the pairing, never attacker input; the chainable *Fp12 API has no error slot
 		panic("bn254: negative exponent")
 	}
 	res := fp12One()

@@ -145,6 +145,7 @@ func (z *Fp2) Inverse(x *Fp2) *Fp2 {
 // Exp sets z = x^e for non-negative e and returns z.
 func (z *Fp2) Exp(x *Fp2, e *big.Int) *Fp2 {
 	if e.Sign() < 0 {
+		//lint:ignore panicfree exponents here are the fixed Frobenius/cofactor constants of the curve, never attacker input; the chainable *Fp2 API has no error slot
 		panic("bn254: negative exponent")
 	}
 	res := fp2One()

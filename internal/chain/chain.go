@@ -248,24 +248,24 @@ type account struct {
 // paper's threat model.
 type Chain struct {
 	mu        sync.Mutex
-	blocks    []Block
-	pending   []Hash
-	receipts  map[Hash]*Receipt
-	contracts map[string]Contract
-	storages  map[string]*Storage
-	accounts  map[Address]*account
-	codeSizes map[string]int
-	now       func() time.Time
+	blocks    []Block              // guarded by mu
+	pending   []Hash               // guarded by mu
+	receipts  map[Hash]*Receipt    // guarded by mu
+	contracts map[string]Contract  // guarded by mu
+	storages  map[string]*Storage  // guarded by mu
+	accounts  map[Address]*account // guarded by mu
+	codeSizes map[string]int       // guarded by mu
+	now       func() time.Time     // immutable after construction
 
 	// eventIdx is the incremental inverted log index: (contract, name) →
 	// events in commit order. It is what EventsByName serves from, instead
 	// of re-walking every receipt.
-	eventIdx map[string][]Event
+	eventIdx map[string][]Event // guarded by mu
 
 	// sealMu serializes SealBlock and the synchronous seal-hook dispatch so
 	// hooks observe blocks strictly in height order.
+	sealHooks []func(Block, []*Receipt) // guarded by sealMu
 	sealMu    sync.Mutex
-	sealHooks []func(Block, []*Receipt)
 }
 
 // New returns an empty chain with a genesis block.
@@ -315,6 +315,7 @@ func (c *Chain) NonceOf(a Address) uint64 {
 	return c.acct(a).nonce
 }
 
+// acct returns (creating if needed) the account record; caller holds c.mu.
 func (c *Chain) acct(a Address) *account {
 	if acc, ok := c.accounts[a]; ok {
 		return acc
@@ -432,6 +433,7 @@ func (c *Chain) Submit(tx Transaction) (*Receipt, error) {
 	return receipt, nil
 }
 
+// balancesSnapshot copies every account balance; caller holds c.mu.
 func (c *Chain) balancesSnapshot() map[Address]uint64 {
 	snap := make(map[Address]uint64, len(c.accounts))
 	for a, acc := range c.accounts {
@@ -440,6 +442,7 @@ func (c *Chain) balancesSnapshot() map[Address]uint64 {
 	return snap
 }
 
+// restoreBalances rolls balances back to a snapshot; caller holds c.mu.
 func (c *Chain) restoreBalances(snap map[Address]uint64) {
 	for a, bal := range snap {
 		c.acct(a).balance = bal
@@ -451,6 +454,8 @@ func (c *Chain) restoreBalances(snap map[Address]uint64) {
 	}
 }
 
+// commitTx records a processed transaction's receipt, queues it for the
+// next block and folds its logs into the event index; caller holds c.mu.
 func (c *Chain) commitTx(h Hash, r *Receipt) {
 	c.receipts[h] = r
 	c.pending = append(c.pending, h)
@@ -589,15 +594,7 @@ func (c *Chain) eventsByNameScan(contract, name string) []Event {
 	var out []Event
 	// Walk blocks then the pending set, preserving order.
 	appendFrom := func(h Hash) {
-		r, ok := c.receipts[h]
-		if !ok {
-			return
-		}
-		for _, ev := range r.Logs {
-			if ev.Contract == contract && ev.Name == name {
-				out = append(out, ev)
-			}
-		}
+		out = c.appendEventsFromLocked(out, h, contract, name)
 	}
 	for _, b := range c.blocks {
 		for _, h := range b.TxHashes {
@@ -606,6 +603,21 @@ func (c *Chain) eventsByNameScan(contract, name string) []Event {
 	}
 	for _, h := range c.pending {
 		appendFrom(h)
+	}
+	return out
+}
+
+// appendEventsFromLocked appends tx h's events matching (contract, name) to
+// out; caller holds c.mu.
+func (c *Chain) appendEventsFromLocked(out []Event, h Hash, contract, name string) []Event {
+	r, ok := c.receipts[h]
+	if !ok {
+		return out
+	}
+	for _, ev := range r.Logs {
+		if ev.Contract == contract && ev.Name == name {
+			out = append(out, ev)
+		}
 	}
 	return out
 }

@@ -30,12 +30,30 @@ type gateTmpl struct {
 }
 
 // Builder records gates and wire values. It is not safe for concurrent use.
+//
+// Gadget misuse (mismatched slice lengths, malformed shapes) does not
+// panic: the first such error is recorded on the builder and surfaced by
+// Compile, so circuit construction keeps the chainable Variable API while
+// staying panic-free (the usual SNARK front-end contract).
 type Builder struct {
 	values    []fr.Element
 	public    []int // variable ids designated public, in order
 	gates     []gateTmpl
 	constants map[string]Variable
+	err       error // first deferred gadget error, reported by Compile
 }
+
+// Fail records a deferred circuit-construction error. The first error
+// wins; Compile reports it. Gadgets (including external ones, e.g. the
+// merkle package) call this instead of panicking on malformed shapes.
+func (b *Builder) Fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first deferred gadget error, if any.
+func (b *Builder) Err() error { return b.err }
 
 // NewBuilder returns an empty circuit builder.
 func NewBuilder() *Builder {
@@ -229,6 +247,9 @@ func (b *Builder) AssertNonZero(x Variable) {
 // Public variables are renumbered to the front, matching the backend's
 // convention.
 func (b *Builder) Compile() (*plonk.ConstraintSystem, []fr.Element, error) {
+	if b.err != nil {
+		return nil, nil, b.err
+	}
 	if len(b.values) == 0 {
 		return nil, nil, fmt.Errorf("circuit: empty circuit")
 	}

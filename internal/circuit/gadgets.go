@@ -182,7 +182,8 @@ func (b *Builder) Sum(xs []Variable) Variable {
 // InnerProduct returns Σ xs[i]·ys[i]; the core of the matrix and ML gadgets.
 func (b *Builder) InnerProduct(xs, ys []Variable) Variable {
 	if len(xs) != len(ys) {
-		panic("circuit: inner product length mismatch")
+		b.Fail("circuit: inner product length mismatch (%d vs %d)", len(xs), len(ys))
+		return b.Zero()
 	}
 	if len(xs) == 0 {
 		return b.Zero()

@@ -94,10 +94,18 @@ func TestVerifyBatchOnChain(t *testing.T) {
 	if !errors.Is(r.Err, ErrProofRejected) {
 		t.Fatalf("corrupted batch: %v", r.Err)
 	}
-	// Empty batch is malformed.
+	// Empty batch is malformed, and classified as ErrBadArgs (not a proof
+	// rejection): there is nothing to fold, so "success" would be vacuous
+	// and indistinguishable from verifying zero statements.
 	r = call(t, c, alice, "verifier", "verifyBatch", 0, EncodeArgs())
-	if r.Err == nil {
-		t.Fatal("empty verifyBatch accepted")
+	if !errors.Is(r.Err, ErrBadArgs) {
+		t.Fatalf("empty verifyBatch: got %v, want ErrBadArgs", r.Err)
+	}
+	// An explicitly encoded empty batch is byte-identical calldata and must
+	// fail the same way.
+	r = call(t, c, alice, "verifier", "verifyBatch", 0, VerifyBatchArgs(nil, nil))
+	if !errors.Is(r.Err, ErrBadArgs) {
+		t.Fatalf("VerifyBatchArgs(nil, nil): got %v, want ErrBadArgs", r.Err)
 	}
 }
 

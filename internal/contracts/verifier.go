@@ -43,7 +43,7 @@ type Verifier struct {
 	// proof settling many exchanges). Marks are consumed per use, so a
 	// replay beyond the batched count pays (and runs) full verification.
 	mu          sync.Mutex
-	preverified map[[32]byte]preMark
+	preverified map[[32]byte]preMark // guarded by mu
 }
 
 // preMark is one pre-verified calldata record: the batch size that set the

@@ -19,7 +19,7 @@ import (
 // for proof validation are publicly available".
 type ProofRegistry struct {
 	mu      sync.Mutex
-	byToken map[uint64]*TokenProofs
+	byToken map[uint64]*TokenProofs // guarded by mu
 }
 
 // TokenProofs bundles the published proofs of one token.

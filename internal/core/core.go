@@ -24,7 +24,7 @@ type System struct {
 	srs *kzg.SRS
 
 	mu    sync.Mutex
-	cache map[string]*circuitKeys
+	cache map[string]*circuitKeys // guarded by mu
 }
 
 type circuitKeys struct {

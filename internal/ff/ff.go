@@ -244,6 +244,7 @@ func (f *Field) reduceWithCarry(z, t *Element, carry uint64) {
 // Exp sets z = x^e mod p for a non-negative big integer exponent.
 func (f *Field) Exp(z, x *Element, e *big.Int) {
 	if e.Sign() < 0 {
+		//lint:ignore panicfree a negative exponent is a programmer error, never attacker input: every exponent in this repo is a compile-time constant or a field-element bit pattern, and the chainable API has no error slot
 		panic("ff: negative exponent")
 	}
 	res := f.One()

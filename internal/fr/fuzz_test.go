@@ -1,0 +1,57 @@
+package fr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromBytesRoundTrip feeds FromBytes arbitrary byte strings: whatever
+// it decodes must be a reduced element whose encoding is a fixed point
+// under decode∘encode. This is the byte-level surface every deserialized
+// scalar (calldata, stored commitments, transcript output) passes through.
+func FuzzFromBytesRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		x := FromBytes(in)
+		enc := x.Bytes()
+		y, err := FromBytesCanonical(enc[:])
+		if err != nil {
+			t.Fatalf("Bytes() produced a non-canonical encoding: %v", err)
+		}
+		if !x.Equal(&y) {
+			t.Fatal("decode(encode(x)) != x")
+		}
+		if enc2 := y.Bytes(); enc2 != enc {
+			t.Fatal("encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzSetBytesCanonical checks the strict decoder: it accepts exactly the
+// reduced 32-byte big-endian encodings, round-trips them bit-exactly, and
+// agrees with the permissive FromBytes on everything it accepts.
+func FuzzSetBytesCanonical(f *testing.F) {
+	f.Add(make([]byte, 32))
+	f.Add(bytes.Repeat([]byte{0x11}, 32))
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		x, err := FromBytesCanonical(in)
+		if err != nil {
+			return // non-canonical input, correctly rejected
+		}
+		if len(in) != Bytes {
+			t.Fatalf("accepted a %d-byte input", len(in))
+		}
+		enc := x.Bytes()
+		if !bytes.Equal(enc[:], in) {
+			t.Fatal("canonical decode does not round-trip bit-exactly")
+		}
+		lax := FromBytes(in)
+		if !x.Equal(&lax) {
+			t.Fatal("FromBytesCanonical disagrees with FromBytes on a canonical input")
+		}
+	})
+}

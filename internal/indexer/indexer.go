@@ -61,15 +61,15 @@ type Indexer struct {
 	mu  sync.RWMutex
 	cfg Config
 
-	head    uint64
-	blooms  map[uint64]*bloom // per processed block
-	byKey   map[string][]Entry
-	txBlock map[chain.Hash]uint64
-	events  uint64
-	blocks  uint64
-	skipped uint64
+	head    uint64                // guarded by mu
+	blooms  map[uint64]*bloom     // guarded by mu; per processed block
+	byKey   map[string][]Entry    // guarded by mu
+	txBlock map[chain.Hash]uint64 // guarded by mu
+	events  uint64                // guarded by mu
+	blocks  uint64                // guarded by mu
+	skipped uint64                // guarded by mu
 
-	prov *provenance
+	prov *provenance // pointer immutable; contents mutated under mu
 }
 
 // New returns an empty indexer.

@@ -59,16 +59,25 @@ func NewCeremony(size int) (*Ceremony, error) {
 // used, and discarded; only the public update proof is retained.
 func (c *Ceremony) Contribute(entropy []byte) error {
 	fresh := fr.MustRandom()
+	defer fresh.SetZero()
 	h := sha256.New()
 	h.Write(entropy)
 	b := fresh.Bytes()
 	h.Write(b[:])
+	for i := range b {
+		b[i] = 0
+	}
+	// toxic: s is this contributor's ceremony secret (the "waste" of the
+	// powers-of-tau update); it and everything derived from it must be
+	// destroyed before Contribute returns.
 	s := fr.FromBytes(h.Sum(nil))
+	defer s.SetZero()
 	if s.IsZero() {
 		return errors.New("kzg: derived zero contribution secret")
 	}
 	// New G1[i] = [s^i] old G1[i]; new [τs]G2 = [s] old [τ]G2.
 	scalars := fr.Powers(&s, len(c.srs.G1))
+	defer zeroizeScalars(scalars)
 	// Each power update is an independent scalar multiplication.
 	parallel.Execute(len(c.srs.G1)-1, func(start, end int) {
 		for i := start + 1; i < end+1; i++ {
@@ -85,6 +94,15 @@ func (c *Ceremony) Contribute(entropy []byte) error {
 		After: c.srs.G1[1],
 	})
 	return nil
+}
+
+// zeroizeScalars overwrites a slice of secret scalars in place; ceremony
+// code calls it (usually deferred) on anything derived from a contribution
+// secret.
+func zeroizeScalars(xs []fr.Element) {
+	for i := range xs {
+		xs[i].SetZero()
+	}
 }
 
 // Contributions returns the public update chain.
@@ -165,6 +183,7 @@ func VerifySRS(srs *SRS) error {
 		return fmt.Errorf("%w: generators corrupted", ErrInvalidSRS)
 	}
 	rho := fr.MustRandom()
+	defer rho.SetZero()
 	n := len(srs.G1)
 	coeffs := make([]fr.Element, n-1)
 	acc := fr.One()

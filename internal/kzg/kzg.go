@@ -79,13 +79,19 @@ func NewSRSFromSecret(size int, tau *fr.Element) (*SRS, error) {
 	return srs, nil
 }
 
-// Setup generates an SRS from fresh randomness and discards the secret.
+// Setup generates an SRS from fresh randomness and discards the secret:
+// τ is zeroized before Setup returns, whatever path it takes.
 func Setup(size int) (*SRS, error) {
 	tau, err := fr.Random(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("kzg: setup: %w", err)
 	}
-	return NewSRSFromSecret(size, &tau)
+	defer tau.SetZero()
+	srs, err := NewSRSFromSecret(size, &tau)
+	if err != nil {
+		return nil, fmt.Errorf("kzg: setup: %w", err)
+	}
+	return srs, nil
 }
 
 // Commitment is a KZG commitment: a single G1 point, independent of the

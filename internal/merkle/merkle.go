@@ -99,9 +99,13 @@ func Verify(root, leaf fr.Element, p Proof) error {
 // given the leaf wire, boolean path-direction wires (1 = leaf on the right)
 // and sibling wires, it returns the computed root wire, which callers
 // constrain against a public root.
+// A path/sibling length mismatch is recorded on the builder (a malformed
+// proof shape is user input, not a programmer invariant) and the leaf wire
+// is returned unconstrained; Compile will fail.
 func GadgetVerify(b *circuit.Builder, leaf circuit.Variable, pathBits, siblings []circuit.Variable) circuit.Variable {
 	if len(pathBits) != len(siblings) {
-		panic("merkle: path length mismatch")
+		b.Fail("merkle: path length mismatch (%d bits, %d siblings)", len(pathBits), len(siblings))
+		return leaf
 	}
 	cur := leaf
 	for i := range siblings {

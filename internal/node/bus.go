@@ -28,9 +28,9 @@ type Subscription[T any] struct {
 	C <-chan T
 
 	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []T
-	closed bool
+	cond   *sync.Cond // set once in the constructor
+	queue  []T        // guarded by mu
+	closed bool       // guarded by mu
 	done   chan struct{}
 	once   sync.Once
 }
@@ -112,8 +112,8 @@ type eventSub struct {
 // wait on inclusion through subscriptions instead of polling the chain.
 type Bus struct {
 	mu        sync.Mutex
-	blockSubs map[*Subscription[BlockNotification]]struct{}
-	eventSubs map[*Subscription[EventNotification]]eventFilter
+	blockSubs map[*Subscription[BlockNotification]]struct{} // guarded by mu
+	eventSubs map[*Subscription[EventNotification]]eventFilter // guarded by mu
 }
 
 // NewBus returns an empty bus.

@@ -83,20 +83,21 @@ func (q *senderQueue) nextFree(chainNonce uint64) uint64 {
 // holding its lock when it calls into the pool).
 type mempool struct {
 	mu      sync.Mutex
-	cfg     Config
-	chain   *chain.Chain
-	senders map[chain.Address]*senderQueue
-	size    int // pending + inflight
+	cfg     Config       // immutable after construction
+	chain   *chain.Chain // immutable after construction
+	senders map[chain.Address]*senderQueue // guarded by mu
+	size    int                            // guarded by mu; pending + inflight
 
-	admitted  uint64
-	rejected  uint64
-	evictions uint64
+	admitted  uint64 // guarded by mu
+	rejected  uint64 // guarded by mu
+	evictions uint64 // guarded by mu
 }
 
 func newMempool(cfg Config, c *chain.Chain) *mempool {
 	return &mempool{cfg: cfg, chain: c, senders: make(map[chain.Address]*senderQueue)}
 }
 
+// queue returns (creating if needed) the sender's queue; caller holds p.mu.
 func (p *mempool) queue(a chain.Address) *senderQueue {
 	q, ok := p.senders[a]
 	if !ok {

@@ -121,13 +121,13 @@ type Node struct {
 	wg   sync.WaitGroup
 
 	mu                sync.Mutex
-	running           bool
-	blocksSealed      uint64
-	txsIncluded       uint64
-	proofsPreverified uint64
-	proofsEvicted     uint64
-	latencies    []time.Duration // ring buffer of recent inclusion latencies
-	latPos       int
+	running           bool   // guarded by mu
+	blocksSealed      uint64 // guarded by mu
+	txsIncluded       uint64 // guarded by mu
+	proofsPreverified uint64 // guarded by mu
+	proofsEvicted     uint64 // guarded by mu
+	latencies []time.Duration // guarded by mu; ring buffer of recent inclusion latencies
+	latPos    int             // guarded by mu
 }
 
 const latencyWindow = 4096

@@ -108,6 +108,40 @@ func TestBatchVerifyRejectsCorrupted(t *testing.T) {
 	}
 }
 
+// TestBatchBisectAllCorrupt is the bisection worst case: every proof in
+// the batch is corrupt, so every split fails all the way down and the
+// offender list must name each index exactly once, in order.
+func TestBatchBisectAllCorrupt(t *testing.T) {
+	const n = 5
+	vk, proofs, publics := proveN(t, n)
+	for i := range proofs {
+		corruptOpening(proofs[i])
+	}
+
+	if err := BatchVerify(vk, proofs, publics); !errors.Is(err, ErrProofInvalid) {
+		t.Fatalf("all-corrupt batch accepted or wrong error: %v", err)
+	}
+
+	b := NewBatch(vk)
+	for i := range proofs {
+		if err := b.Add(proofs[i], publics[i]); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	offenders, err := b.Bisect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != n {
+		t.Fatalf("Bisect found %d offenders, want all %d: %v", len(offenders), n, offenders)
+	}
+	for i, off := range offenders {
+		if off != i {
+			t.Fatalf("Bisect = %v, want [0..%d] in order", offenders, n-1)
+		}
+	}
+}
+
 func TestBatchBisectMultipleOffenders(t *testing.T) {
 	const n = 8
 	vk, proofs, publics := proveN(t, n)

@@ -190,11 +190,16 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 		sigmaLabel[r] = [3]fr.Element{s1[r], s2[r], s3[r]}
 	}
 
-	// Interpolate everything to coefficient form.
+	// Interpolate everything to coefficient form. Every input has length n
+	// by construction; the first IFFT error (impossible unless that
+	// invariant breaks) is surfaced after the key is assembled.
+	var ifftErr error
 	toPoly := func(evals []fr.Element) poly.Polynomial {
 		c := make([]fr.Element, n)
 		copy(c, evals)
-		domain.IFFT(c)
+		if err := domain.IFFT(c); err != nil && ifftErr == nil {
+			ifftErr = err
+		}
 		return c
 	}
 	pk := &ProvingKey{
@@ -213,6 +218,9 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 		gates:      append([]Gate(nil), cs.gates...),
 		nbPublic:   cs.nbPublic,
 		nbVars:     cs.nbVariables,
+	}
+	if ifftErr != nil {
+		return nil, nil, ifftErr
 	}
 
 	vk := &VerifyingKey{

@@ -157,28 +157,40 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	}
 	piPoly := make(poly.Polynomial, n)
 	copy(piPoly, piEvals)
-	pk.Domain.IFFT(piPoly)
+	if err := pk.Domain.IFFT(piPoly); err != nil {
+		return nil, err
+	}
 
 	// Round 1: blinded wire polynomials and their commitments.
-	blindWire := func(evals []fr.Element) poly.Polynomial {
+	blindWire := func(evals []fr.Element) (poly.Polynomial, error) {
 		p := make(poly.Polynomial, n+2)
 		copy(p, evals)
-		pk.Domain.IFFT(p[:n])
+		if err := pk.Domain.IFFT(p[:n]); err != nil {
+			return nil, err
+		}
 		b1, b2 := fr.MustRandom(), fr.MustRandom()
 		// + (b1 + b2·X)·(X^n - 1)
 		p[0].Sub(&p[0], &b1)
 		p[1].Sub(&p[1], &b2)
 		p[n].Add(&p[n], &b1)
 		p[n+1].Add(&p[n+1], &b2)
-		return p
+		return p, nil
 	}
-	aPoly := blindWire(aV)
-	bPoly := blindWire(bV)
-	cPoly := blindWire(cV)
+	aPoly, err := blindWire(aV)
+	if err != nil {
+		return nil, err
+	}
+	bPoly, err := blindWire(bV)
+	if err != nil {
+		return nil, err
+	}
+	cPoly, err := blindWire(cV)
+	if err != nil {
+		return nil, err
+	}
 
 	commit := func(p poly.Polynomial) (kzg.Commitment, error) { return kzg.Commit(pk.SRS, p) }
 	proof := &Proof{}
-	var err error
 	// The three wire commitments are independent MSMs; run them in
 	// parallel (the prover's dominant cost).
 	if err = commitParallel(pk.SRS,
@@ -247,7 +259,9 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 
 	zPoly := make(poly.Polynomial, n+3)
 	copy(zPoly, zV)
-	pk.Domain.IFFT(zPoly[:n])
+	if err := pk.Domain.IFFT(zPoly[:n]); err != nil {
+		return nil, err
+	}
 	zb1, zb2, zb3 := fr.MustRandom(), fr.MustRandom(), fr.MustRandom()
 	zPoly[0].Sub(&zPoly[0], &zb1)
 	zPoly[1].Sub(&zPoly[1], &zb2)
@@ -278,14 +292,20 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 		pk.S1, pk.S2, pk.S3, piPoly,
 	}
 	cosetOutputs := make([][]fr.Element, len(cosetInputs))
+	cosetErrs := make([]error, len(cosetInputs))
 	parallel.Execute(len(cosetInputs), func(start, end int) {
 		for i := start; i < end; i++ {
 			e := make([]fr.Element, big)
 			copy(e, cosetInputs[i])
-			domain4.FFTCoset(e)
+			cosetErrs[i] = domain4.FFTCoset(e)
 			cosetOutputs[i] = e
 		}
 	})
+	for _, cerr := range cosetErrs {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
 	aE, bE, cE, zE := cosetOutputs[0], cosetOutputs[1], cosetOutputs[2], cosetOutputs[3]
 	qlE, qrE, qoE, qmE, qcE := cosetOutputs[4], cosetOutputs[5], cosetOutputs[6], cosetOutputs[7], cosetOutputs[8]
 	s1E, s2E, s3E, piE := cosetOutputs[9], cosetOutputs[10], cosetOutputs[11], cosetOutputs[12]
@@ -395,7 +415,9 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	})
 	tPoly := make(poly.Polynomial, big)
 	copy(tPoly, tEvals)
-	domain4.IFFTCoset(tPoly)
+	if err := domain4.IFFTCoset(tPoly); err != nil {
+		return nil, err
+	}
 
 	// A satisfied circuit yields deg(t) ≤ 3n+5; anything above signals an
 	// unsatisfied witness (the division by Z_H was not exact).

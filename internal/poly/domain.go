@@ -161,34 +161,58 @@ func (d *Domain) LagrangeEval(i uint64, x *fr.Element) fr.Element {
 	return out
 }
 
+// checkLen validates that a transform input matches the domain size. The
+// length is caller-controlled (it reaches the prover from circuit sizes),
+// so a mismatch is reported as an error rather than a panic.
+func (d *Domain) checkLen(a []fr.Element) error {
+	if uint64(len(a)) != d.N {
+		return fmt.Errorf("poly: fft input length %d != domain size %d", len(a), d.N)
+	}
+	return nil
+}
+
 // FFT transforms coefficients to evaluations over the domain, in place.
 // a must have length N.
-func (d *Domain) FFT(a []fr.Element) {
+func (d *Domain) FFT(a []fr.Element) error {
+	if err := d.checkLen(a); err != nil {
+		return err
+	}
 	fwd, _ := d.twiddles()
 	d.fft(a, fwd, parallel.Workers())
+	return nil
 }
 
 // IFFT transforms evaluations over the domain back to coefficients,
 // in place. a must have length N.
-func (d *Domain) IFFT(a []fr.Element) {
+func (d *Domain) IFFT(a []fr.Element) error {
+	if err := d.checkLen(a); err != nil {
+		return err
+	}
 	_, inv := d.twiddles()
 	d.fft(a, inv, parallel.Workers())
 	mulScalarInPlace(a, &d.NInv)
+	return nil
 }
 
 // FFTCoset evaluates the polynomial over the coset g·H, in place.
-func (d *Domain) FFTCoset(a []fr.Element) {
+func (d *Domain) FFTCoset(a []fr.Element) error {
+	if err := d.checkLen(a); err != nil {
+		return err
+	}
 	fwd, _ := d.cosetPowers()
 	mulVecInPlace(a, fwd)
-	d.FFT(a)
+	return d.FFT(a)
 }
 
 // IFFTCoset interpolates evaluations over the coset g·H back to
 // coefficients, in place.
-func (d *Domain) IFFTCoset(a []fr.Element) {
-	d.IFFT(a)
+func (d *Domain) IFFTCoset(a []fr.Element) error {
+	if err := d.IFFT(a); err != nil {
+		return err
+	}
 	_, inv := d.cosetPowers()
 	mulVecInPlace(a, inv)
+	return nil
 }
 
 // mulScalarInPlace sets a[i] *= c for all i, splitting large inputs across
@@ -234,11 +258,11 @@ func mulVecInPlace(a, b []fr.Element) {
 // reads and each output element is produced by the same multiply/add
 // sequence as the serial transform, so the result is bit-identical for any
 // worker count.
+//
+// The public entry points (FFT, IFFT, …) have already validated
+// len(a) == d.N; fft assumes it.
 func (d *Domain) fft(a []fr.Element, tw []fr.Element, workers int) {
 	n := uint64(len(a))
-	if n != d.N {
-		panic(fmt.Sprintf("poly: fft input length %d != domain size %d", n, d.N))
-	}
 	if n == 1 {
 		return
 	}
@@ -310,13 +334,13 @@ func bitReversePermute(a []fr.Element, log int, serial bool) {
 // fftSerialReference is the original fully-serial transform with twiddles
 // recomputed by chained multiplication, retained as the bit-exact reference
 // the property tests compare the table-driven parallel transform against.
-func (d *Domain) fftSerialReference(a []fr.Element, w *fr.Element) {
+func (d *Domain) fftSerialReference(a []fr.Element, w *fr.Element) error {
 	n := uint64(len(a))
-	if n != d.N {
-		panic(fmt.Sprintf("poly: fft input length %d != domain size %d", n, d.N))
+	if err := d.checkLen(a); err != nil {
+		return err
 	}
 	if n == 1 {
-		return
+		return nil
 	}
 	shift := 64 - uint(d.Log)
 	for i := uint64(0); i < n; i++ {
@@ -347,4 +371,5 @@ func (d *Domain) fftSerialReference(a []fr.Element, w *fr.Element) {
 			}
 		}
 	}
+	return nil
 }

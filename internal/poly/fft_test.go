@@ -58,10 +58,14 @@ func TestFFTMatchesSerialReference(t *testing.T) {
 		in := randVec(rng, n)
 
 		ref := append([]fr.Element(nil), in...)
-		d.fftSerialReference(ref, &d.Gen)
+		if err := d.fftSerialReference(ref, &d.Gen); err != nil {
+			t.Fatal(err)
+		}
 
 		got := append([]fr.Element(nil), in...)
-		d.FFT(got)
+		if err := d.FFT(got); err != nil {
+			t.Fatal(err)
+		}
 		if !equalVec(got, ref) {
 			t.Fatalf("n=%d: FFT differs from serial reference", n)
 		}
@@ -78,7 +82,9 @@ func TestFFTMatchesSerialReference(t *testing.T) {
 
 		// Inverse direction against the reference with ω⁻¹.
 		refInv := append([]fr.Element(nil), in...)
-		d.fftSerialReference(refInv, &d.GenInv)
+		if err := d.fftSerialReference(refInv, &d.GenInv); err != nil {
+			t.Fatal(err)
+		}
 		for i := range refInv {
 			refInv[i].Mul(&refInv[i], &d.NInv)
 		}
@@ -105,15 +111,23 @@ func TestFFTRoundTrip(t *testing.T) {
 		in := randVec(rng, n)
 
 		a := append([]fr.Element(nil), in...)
-		d.FFT(a)
-		d.IFFT(a)
+		if err := d.FFT(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.IFFT(a); err != nil {
+			t.Fatal(err)
+		}
 		if !equalVec(a, in) {
 			t.Fatalf("n=%d: IFFT(FFT(x)) != x", n)
 		}
 
 		a = append([]fr.Element(nil), in...)
-		d.FFTCoset(a)
-		d.IFFTCoset(a)
+		if err := d.FFTCoset(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.IFFTCoset(a); err != nil {
+			t.Fatal(err)
+		}
 		if !equalVec(a, in) {
 			t.Fatalf("n=%d: IFFTCoset(FFTCoset(x)) != x", n)
 		}
@@ -131,7 +145,9 @@ func TestFFTCosetMatchesShiftedEval(t *testing.T) {
 		}
 		p := Polynomial(randVec(rng, n))
 		evals := append([]fr.Element(nil), p...)
-		d.FFTCoset(evals)
+		if err := d.FFTCoset(evals); err != nil {
+			t.Fatal(err)
+		}
 		for _, i := range []uint64{0, 1, n / 2, n - 1} {
 			i %= n
 			var x fr.Element
@@ -203,13 +219,17 @@ func TestDomainConcurrentFirstUse(t *testing.T) {
 	}
 	in := randVec(rng, d.N)
 	ref := append([]fr.Element(nil), in...)
-	d.fftSerialReference(ref, &d.Gen)
+	if err := d.fftSerialReference(ref, &d.Gen); err != nil {
+		t.Fatal(err)
+	}
 
 	done := make(chan []fr.Element, 8)
 	for g := 0; g < 8; g++ {
 		go func() {
 			a := append([]fr.Element(nil), in...)
-			d.FFT(a)
+			if err := d.FFT(a); err != nil {
+				a = nil
+			}
 			done <- a
 		}()
 	}

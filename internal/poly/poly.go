@@ -4,6 +4,8 @@
 package poly
 
 import (
+	"fmt"
+
 	"github.com/zkdet/zkdet/internal/fr"
 )
 
@@ -101,11 +103,13 @@ func MulScalar(p Polynomial, c *fr.Element) Polynomial {
 }
 
 // Mul returns p · q. It uses schoolbook multiplication below a small
-// threshold and FFT multiplication above it.
-func Mul(p, q Polynomial) Polynomial {
+// threshold and FFT multiplication above it. It errors when the product
+// degree exceeds the two-adicity of the scalar field (no FFT domain is
+// large enough), which is reachable from attacker-sized inputs.
+func Mul(p, q Polynomial) (Polynomial, error) {
 	p, q = p.Trim(), q.Trim()
 	if len(p) == 0 || len(q) == 0 {
-		return Polynomial{}
+		return Polynomial{}, nil
 	}
 	if len(p)*len(q) <= 1024 {
 		out := make(Polynomial, len(p)+len(q)-1)
@@ -119,25 +123,30 @@ func Mul(p, q Polynomial) Polynomial {
 				out[i+j].Add(&out[i+j], &t)
 			}
 		}
-		return out
+		return out, nil
 	}
 	n := len(p) + len(q) - 1
 	d, err := NewDomain(uint64(n))
 	if err != nil {
-		// Degrees beyond 2^28 cannot occur in this repo's circuits.
-		panic("poly: product degree exceeds the field's two-adicity")
+		return nil, fmt.Errorf("poly: product of degrees %d and %d: %w", len(p)-1, len(q)-1, err)
 	}
 	pe := make([]fr.Element, d.N)
 	qe := make([]fr.Element, d.N)
 	copy(pe, p)
 	copy(qe, q)
-	d.FFT(pe)
-	d.FFT(qe)
+	if err := d.FFT(pe); err != nil {
+		return nil, err
+	}
+	if err := d.FFT(qe); err != nil {
+		return nil, err
+	}
 	for i := range pe {
 		pe[i].Mul(&pe[i], &qe[i])
 	}
-	d.IFFT(pe)
-	return Polynomial(pe[:n])
+	if err := d.IFFT(pe); err != nil {
+		return nil, err
+	}
+	return Polynomial(pe[:n]), nil
 }
 
 // DivideByLinear divides p by (X - z), returning the quotient q and the
@@ -161,15 +170,15 @@ func DivideByLinear(p Polynomial, z *fr.Element) (Polynomial, fr.Element) {
 }
 
 // Div returns the quotient and remainder of p / q by long division.
-// It panics on division by the zero polynomial.
-func Div(p, q Polynomial) (quot, rem Polynomial) {
+// It errors on division by the zero polynomial.
+func Div(p, q Polynomial) (quot, rem Polynomial, err error) {
 	q = q.Trim()
 	if len(q) == 0 {
-		panic("poly: division by zero polynomial")
+		return nil, nil, fmt.Errorf("poly: division by zero polynomial")
 	}
 	rem = p.Clone().Trim()
 	if len(rem) < len(q) {
-		return Polynomial{}, rem
+		return Polynomial{}, rem, nil
 	}
 	quot = make(Polynomial, len(rem)-len(q)+1)
 	var leadInv fr.Element
@@ -186,15 +195,16 @@ func Div(p, q Polynomial) (quot, rem Polynomial) {
 		}
 		rem = rem[:len(rem)-1].Trim()
 	}
-	return quot, rem
+	return quot, rem, nil
 }
 
 // Interpolate returns the unique polynomial of degree < len(xs) passing
 // through all (xs[i], ys[i]) via Lagrange interpolation. The xs must be
 // distinct; this is O(n²) and intended for small n (tests, gadget setup).
-func Interpolate(xs, ys []fr.Element) Polynomial {
+// It errors when the point and value counts differ.
+func Interpolate(xs, ys []fr.Element) (Polynomial, error) {
 	if len(xs) != len(ys) {
-		panic("poly: interpolation point count mismatch")
+		return nil, fmt.Errorf("poly: interpolation point count mismatch (%d points, %d values)", len(xs), len(ys))
 	}
 	n := len(xs)
 	out := make(Polynomial, n)
@@ -208,7 +218,11 @@ func Interpolate(xs, ys []fr.Element) Polynomial {
 			}
 			var negXj fr.Element
 			negXj.Neg(&xs[j])
-			basis = Mul(basis, Polynomial{negXj, fr.One()})
+			var err error
+			basis, err = Mul(basis, Polynomial{negXj, fr.One()})
+			if err != nil {
+				return nil, err
+			}
 			var d fr.Element
 			d.Sub(&xs[i], &xs[j])
 			denom.Mul(&denom, &d)
@@ -221,5 +235,5 @@ func Interpolate(xs, ys []fr.Element) Polynomial {
 			out[k].Add(&out[k], &t)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -15,6 +15,17 @@ func randPoly(n int) Polynomial {
 	return p
 }
 
+// mustMul multiplies polynomials whose product degree is known to fit the
+// field's two-adicity, failing the test otherwise.
+func mustMul(t *testing.T, p, q Polynomial) Polynomial {
+	t.Helper()
+	out, err := Mul(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestDegreeAndZero(t *testing.T) {
 	var zero Polynomial
 	if zero.Degree() != -1 || !zero.IsZero() {
@@ -61,7 +72,7 @@ func TestAddSubEval(t *testing.T) {
 func TestMulSchoolbookAndFFTAgree(t *testing.T) {
 	// Large enough to trigger the FFT path; compare evaluations.
 	p, q := randPoly(60), randPoly(70)
-	prod := Mul(p, q)
+	prod := mustMul(t, p, q)
 	if prod.Degree() != p.Degree()+q.Degree() {
 		t.Fatalf("product degree %d, want %d", prod.Degree(), p.Degree()+q.Degree())
 	}
@@ -75,7 +86,7 @@ func TestMulSchoolbookAndFFTAgree(t *testing.T) {
 		}
 	}
 	// Zero cases.
-	if got := Mul(p, Polynomial{}); !got.IsZero() {
+	if got := mustMul(t, p, Polynomial{}); !got.IsZero() {
 		t.Fatal("p * 0 != 0")
 	}
 }
@@ -92,7 +103,7 @@ func TestDivideByLinear(t *testing.T) {
 	var negZ fr.Element
 	negZ.Neg(&z)
 	lin := Polynomial{negZ, fr.One()}
-	recon := Add(Mul(q, lin), Polynomial{rem})
+	recon := Add(mustMul(t, q, lin), Polynomial{rem})
 	if got, want := recon.Eval(&x), p.Eval(&x); !got.Equal(&want) {
 		t.Fatal("q(X)(X-z)+r != p(X)")
 	}
@@ -100,30 +111,33 @@ func TestDivideByLinear(t *testing.T) {
 
 func TestDiv(t *testing.T) {
 	p, q := randPoly(15), randPoly(4)
-	quot, rem := Div(p, q)
+	quot, rem, err := Div(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rem.Degree() >= q.Degree() {
 		t.Fatal("remainder degree too high")
 	}
 	x := fr.MustRandom()
-	recon := Add(Mul(quot, q), rem)
+	recon := Add(mustMul(t, quot, q), rem)
 	if got, want := recon.Eval(&x), p.Eval(&x); !got.Equal(&want) {
 		t.Fatal("quot*q + rem != p")
 	}
 	// Exact division.
-	prod := Mul(p, q)
-	quot2, rem2 := Div(prod, q)
+	prod := mustMul(t, p, q)
+	quot2, rem2, err := Div(prod, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !rem2.IsZero() {
 		t.Fatal("exact division has nonzero remainder")
 	}
 	if !quot2.Equal(p) {
 		t.Fatal("exact division quotient mismatch")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("division by zero did not panic")
-		}
-	}()
-	Div(p, Polynomial{})
+	if _, _, err := Div(p, Polynomial{}); err == nil {
+		t.Fatal("division by zero polynomial should error")
+	}
 }
 
 func TestInterpolate(t *testing.T) {
@@ -134,11 +148,17 @@ func TestInterpolate(t *testing.T) {
 		xs[i] = fr.NewElement(uint64(i + 1))
 		ys[i] = fr.MustRandom()
 	}
-	p := Interpolate(xs, ys)
+	p, err := Interpolate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range xs {
 		if got := p.Eval(&xs[i]); !got.Equal(&ys[i]) {
 			t.Fatalf("interpolation fails at point %d", i)
 		}
+	}
+	if _, err := Interpolate(xs, ys[:len(ys)-1]); err == nil {
+		t.Fatal("mismatched point counts should error")
 	}
 }
 
@@ -154,8 +174,12 @@ func TestDomainRoundTrip(t *testing.T) {
 		}
 		orig := make([]fr.Element, len(a))
 		copy(orig, a)
-		d.FFT(a)
-		d.IFFT(a)
+		if err := d.FFT(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.IFFT(a); err != nil {
+			t.Fatal(err)
+		}
 		for i := range a {
 			if !a[i].Equal(&orig[i]) {
 				t.Fatalf("n=%d: FFT/IFFT round trip mismatch at %d", n, i)
@@ -172,7 +196,9 @@ func TestFFTMatchesEval(t *testing.T) {
 	p := randPoly(int(d.N))
 	evals := make([]fr.Element, d.N)
 	copy(evals, p)
-	d.FFT(evals)
+	if err := d.FFT(evals); err != nil {
+		t.Fatal(err)
+	}
 	els := d.Elements()
 	for i := range els {
 		if want := p.Eval(&els[i]); !evals[i].Equal(&want) {
@@ -189,7 +215,9 @@ func TestCosetFFT(t *testing.T) {
 	p := randPoly(int(d.N))
 	evals := make([]fr.Element, d.N)
 	copy(evals, p)
-	d.FFTCoset(evals)
+	if err := d.FFTCoset(evals); err != nil {
+		t.Fatal(err)
+	}
 	// Check a few points: evaluation at g·ω^i.
 	g := fr.NewElement(fr.MultiplicativeGenerator)
 	for _, i := range []uint64{0, 1, 7, 31} {
@@ -201,7 +229,9 @@ func TestCosetFFT(t *testing.T) {
 		}
 	}
 	// Round trip.
-	d.IFFTCoset(evals)
+	if err := d.IFFTCoset(evals); err != nil {
+		t.Fatal(err)
+	}
 	for i := range evals {
 		if !evals[i].Equal(&p[i]) {
 			t.Fatal("coset round trip mismatch")
@@ -228,7 +258,10 @@ func TestDomainVanishingAndLagrange(t *testing.T) {
 	for i := uint64(0); i < d.N; i++ {
 		ys := make([]fr.Element, d.N)
 		ys[i] = fr.One()
-		li := Interpolate(els, ys)
+		li, err := Interpolate(els, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := li.Eval(&x)
 		got := d.LagrangeEval(i, &x)
 		if !got.Equal(&want) {
@@ -250,7 +283,9 @@ func TestQuickMulCommutes(t *testing.T) {
 	prop := func(a, b, c, d uint64) bool {
 		p := Polynomial{fr.NewElement(a), fr.NewElement(b)}
 		q := Polynomial{fr.NewElement(c), fr.NewElement(d)}
-		return Mul(p, q).Equal(Mul(q, p))
+		pq, err1 := Mul(p, q)
+		qp, err2 := Mul(q, p)
+		return err1 == nil && err2 == nil && pq.Equal(qp)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -271,7 +306,11 @@ func TestQuickDivideByLinearConsistent(t *testing.T) {
 		var negZ fr.Element
 		negZ.Neg(&ze)
 		lin := Polynomial{negZ, fr.One()}
-		recon := Add(Mul(q, lin), Polynomial{rem})
+		qlin, err := Mul(q, lin)
+		if err != nil {
+			return false
+		}
+		recon := Add(qlin, Polynomial{rem})
 		got, wantAt := recon.Eval(&x), p.Eval(&x)
 		return got.Equal(&wantAt)
 	}
@@ -284,7 +323,10 @@ func TestQuickInterpolateEval(t *testing.T) {
 	prop := func(y0, y1, y2 uint64) bool {
 		xs := []fr.Element{fr.NewElement(1), fr.NewElement(2), fr.NewElement(3)}
 		ys := []fr.Element{fr.NewElement(y0), fr.NewElement(y1), fr.NewElement(y2)}
-		p := Interpolate(xs, ys)
+		p, err := Interpolate(xs, ys)
+		if err != nil {
+			return false
+		}
 		for i := range xs {
 			if got := p.Eval(&xs[i]); !got.Equal(&ys[i]) {
 				return false

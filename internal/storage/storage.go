@@ -106,11 +106,12 @@ func (n *node) closestKnown(target [32]byte, k int) []*node {
 // Network is a simulated DHT storage network.
 type Network struct {
 	mu    sync.Mutex
-	nodes []*node
-	// replication is the number of closest nodes a blob is stored on.
+	nodes []*node // guarded by mu
+	// replication is the number of closest nodes a blob is stored on;
+	// immutable after construction.
 	replication int
 	// lookupHops counts routing hops, exposed for observability.
-	lookupHops int
+	lookupHops int // guarded by mu
 }
 
 // NewNetwork creates a network of n nodes with deterministic IDs and
@@ -142,7 +143,7 @@ func NewNetwork(n int) (*Network, error) {
 }
 
 // lookup performs an iterative closest-node search from an arbitrary entry
-// node, counting hops.
+// node, counting hops; caller holds net.mu.
 func (net *Network) lookup(target [32]byte) []*node {
 	cur := net.nodes[0]
 	for {
