@@ -13,9 +13,9 @@ GO ?= go
 # cache, and the JSON-RPC daemon all serve concurrent callers.
 RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
 	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/... \
-	./internal/storage/... ./internal/core/... ./cmd/zkdet-node/...
+	./internal/storage/... ./internal/core/... ./internal/p2p/... ./cmd/zkdet-node/...
 
-.PHONY: check vet build lint test race fuzz-smoke bench bench-verify node-demo
+.PHONY: check vet build lint test race fuzz-smoke bench bench-verify bench-p2p node-demo cluster-demo
 
 check: vet build lint test race
 
@@ -63,7 +63,20 @@ bench-verify:
 	$(GO) test -run='^$$' -bench='BenchmarkPairingCheck$$|BenchmarkVerify$$|BenchmarkBatchVerify$$' \
 		./internal/bn254/ ./internal/plonk/
 
+# Network-layer benchmarks: gossip propagation latency vs fanout and
+# headers-first sync time vs chain length, on the in-memory SimNet; see
+# EXPERIMENTS.md §Network layer for recorded numbers.
+bench-p2p:
+	$(GO) test -run='^$$' -bench='BenchmarkGossipPropagation$$|BenchmarkChainSync$$' -benchtime=10x \
+		./internal/bench/
+
 # Boot the node daemon in-process and drive 100 concurrent clients through
 # full exchange lifecycles over HTTP JSON-RPC; prints tx/s and p50/p99.
 node-demo:
 	$(GO) run ./cmd/zkdet-node load -clients 100
+
+# Seven full ZKDET replicas over the fault-injecting simulated transport:
+# gossip, leader rotation, a 3|4 partition healed mid-mint, an escrow sale,
+# and a cluster-wide AuditLineage check on every node.
+cluster-demo:
+	$(GO) run ./cmd/zkdet-cluster

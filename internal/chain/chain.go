@@ -262,6 +262,11 @@ type Chain struct {
 	// of re-walking every receipt.
 	eventIdx map[string][]Event // guarded by mu
 
+	// txs retains the normalized body of every processed transaction so
+	// sealed blocks can be served to peers (BlockBody) and replayed by
+	// importing nodes.
+	txs map[Hash]Transaction // guarded by mu
+
 	// sealMu serializes SealBlock and the synchronous seal-hook dispatch so
 	// hooks observe blocks strictly in height order.
 	sealHooks []func(Block, []*Receipt) // guarded by sealMu
@@ -277,6 +282,7 @@ func New() *Chain {
 		accounts:  make(map[Address]*account),
 		codeSizes: make(map[string]int),
 		eventIdx:  make(map[string][]Event),
+		txs:       make(map[Hash]Transaction),
 		now:       time.Now,
 	}
 	genesis := Block{Number: 0, Time: c.now()}
@@ -357,7 +363,13 @@ func (c *Chain) Deploy(name string, contract Contract, codeSize int) (uint64, er
 func (c *Chain) Submit(tx Transaction) (*Receipt, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.submitLocked(tx)
+}
 
+// submitLocked is Submit's body; caller holds c.mu. ImportBlock replays
+// remote transactions through the same path so every node runs the
+// identical state machine.
+func (c *Chain) submitLocked(tx Transaction) (*Receipt, error) {
 	sender := c.acct(tx.From)
 	if tx.Nonce != sender.nonce {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, sender.nonce)
@@ -386,7 +398,7 @@ func (c *Chain) Submit(tx Transaction) (*Receipt, error) {
 			return nil, err
 		}
 		receipt.GasUsed = gas.Used()
-		c.commitTx(txHash, receipt)
+		c.commitTx(tx, txHash, receipt)
 		return receipt, nil
 	}
 
@@ -429,7 +441,7 @@ func (c *Chain) Submit(tx Transaction) (*Receipt, error) {
 		receipt.Return = ret
 		receipt.Logs = ctx.logs
 	}
-	c.commitTx(txHash, receipt)
+	c.commitTx(tx, txHash, receipt)
 	return receipt, nil
 }
 
@@ -454,9 +466,12 @@ func (c *Chain) restoreBalances(snap map[Address]uint64) {
 	}
 }
 
-// commitTx records a processed transaction's receipt, queues it for the
-// next block and folds its logs into the event index; caller holds c.mu.
-func (c *Chain) commitTx(h Hash, r *Receipt) {
+// commitTx records a processed transaction's body and receipt, queues it
+// for the next block and folds its logs into the event index; caller holds
+// c.mu. The body is stored post-normalization (gas default applied) so
+// replaying it on another node reproduces the same hash.
+func (c *Chain) commitTx(tx Transaction, h Hash, r *Receipt) {
+	c.txs[h] = tx
 	c.receipts[h] = r
 	c.pending = append(c.pending, h)
 	for _, ev := range r.Logs {

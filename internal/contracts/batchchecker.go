@@ -78,6 +78,22 @@ func (bc *BlockProofChecker) extract(tx *chain.Transaction) (*Verifier, []byte, 
 // verification and should be dropped from the block. Transactions that
 // carry no recognisable proof are left untouched (nil error, not counted).
 func (bc *BlockProofChecker) VerifyBatch(txs []*chain.Transaction) (int, []error) {
+	return bc.checkBatch(txs, true)
+}
+
+// GossipCheck batch-verifies like VerifyBatch but never marks proofs
+// pre-verified. It is the network-boundary validator: a gossip layer
+// rejecting invalid payloads before re-propagation (and an importer
+// screening a remote block) must not alter execution-time gas charging,
+// which would make replicas charge different gas for the same transaction
+// and diverge at the out-of-gas boundary.
+func (bc *BlockProofChecker) GossipCheck(txs []*chain.Transaction) (int, []error) {
+	return bc.checkBatch(txs, false)
+}
+
+// checkBatch is the shared verification core; mark selects whether valid
+// proofs are recorded pre-verified on their contracts.
+func (bc *BlockProofChecker) checkBatch(txs []*chain.Transaction, mark bool) (int, []error) {
 	errs := make([]error, len(txs))
 
 	// Group recognised proofs by target verifier: proofs under different
@@ -134,7 +150,9 @@ func (bc *BlockProofChecker) VerifyBatch(txs []*chain.Transaction) (int, []error
 				errs[en.txIndex] = fmt.Errorf("%w: seal-time batch check", ErrProofRejected)
 				continue
 			}
-			v.markPreverified(en.digest, survivors)
+			if mark {
+				v.markPreverified(en.digest, survivors)
+			}
 			verified++
 		}
 	}

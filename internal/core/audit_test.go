@@ -6,6 +6,7 @@ import (
 
 	"github.com/zkdet/zkdet/internal/chain"
 	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/storage"
 )
 
 func TestAuditLineageHonest(t *testing.T) {
@@ -73,7 +74,7 @@ func TestAuditDetectsTamperedStorage(t *testing.T) {
 	reg.PublishAsset(asset)
 	// Corrupt the stored ciphertext: the storage layer itself detects the
 	// digest mismatch.
-	if !m.Store.Corrupt(asset.URI) {
+	if !m.Store.(*storage.Network).Corrupt(asset.URI) {
 		t.Fatal("corrupt hook missed")
 	}
 	if _, err := m.AuditLineage(reg, asset.TokenID); err == nil {

@@ -19,7 +19,19 @@ import (
 type Marketplace struct {
 	Sys   *System
 	Chain *chain.Chain
-	Store *storage.Network
+	// Store is the deployment's content-addressed storage: the simulated
+	// DHT by default (NewMarketplace), or any storage.BlobStore — a single
+	// cluster node's local store, a p2p transport-backed store — when
+	// deployed with NewMarketplaceWith.
+	Store storage.BlobStore
+
+	// Submitter, when set, routes marketplace transactions through an
+	// external admission path — a cluster node's mempool + gossip — instead
+	// of executing directly on the local chain. It must block until the
+	// transaction is included and return its receipt. The transaction's
+	// Nonce is advisory (taken from the local chain); cluster submitters
+	// typically reassign it atomically at admission.
+	Submitter func(tx chain.Transaction) (*chain.Receipt, error)
 
 	// ix is the optional event indexer; when attached, provenance queries
 	// walk the index instead of contract storage.
@@ -46,7 +58,19 @@ type DeployGas struct {
 // NewMarketplace deploys the contract suite on a fresh chain and spins up a
 // storage network.
 func NewMarketplace(sys *System, storageNodes int) (*Marketplace, DeployGas, error) {
-	c := chain.New()
+	store, err := storage.NewNetwork(storageNodes)
+	if err != nil {
+		return nil, DeployGas{}, err
+	}
+	return NewMarketplaceWith(sys, chain.New(), store)
+}
+
+// NewMarketplaceWith deploys the contract suite onto a caller-provided
+// chain and blob store. Cluster deployments use this as the genesis
+// function: every node deploys the identical suite (same verifying key,
+// same deployment order) onto its own chain, so all replicas start from
+// the same state root and replayed blocks hash identically.
+func NewMarketplaceWith(sys *System, c *chain.Chain, store storage.BlobStore) (*Marketplace, DeployGas, error) {
 	var gas DeployGas
 	var err error
 	if gas.DataNFT, err = c.Deploy(contracts.DataNFTName, &contracts.DataNFT{}, contracts.DataNFTCodeSize); err != nil {
@@ -65,10 +89,6 @@ func NewMarketplace(sys *System, storageNodes int) (*Marketplace, DeployGas, err
 	}
 	escrow := contracts.NewEscrow(PiKVerifierName, 100)
 	if gas.Escrow, err = c.Deploy(contracts.EscrowName, escrow, contracts.EscrowCodeSize); err != nil {
-		return nil, gas, err
-	}
-	store, err := storage.NewNetwork(storageNodes)
-	if err != nil {
 		return nil, gas, err
 	}
 	return &Marketplace{Sys: sys, Chain: c, Store: store, verifier: verifier, escrow: escrow}, gas, nil
@@ -107,10 +127,15 @@ type Asset struct {
 var ErrNotAssetOwner = errors.New("core: caller does not own the asset")
 
 func (m *Marketplace) submit(from chain.Address, contract, method string, value uint64, args []byte) (*chain.Receipt, error) {
-	r, err := m.Chain.Submit(chain.Transaction{
+	tx := chain.Transaction{
 		From: from, Contract: contract, Method: method,
 		Args: args, Value: value, Nonce: m.Chain.NonceOf(from),
-	})
+	}
+	submit := m.Chain.Submit
+	if m.Submitter != nil {
+		submit = m.Submitter
+	}
+	r, err := submit(tx)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,9 @@ var (
 	ErrEvicted      = errors.New("node: transaction evicted from mempool")
 	ErrNodeStopped  = errors.New("node: node stopped")
 	ErrWaitCanceled = errors.New("node: wait canceled")
+	// ErrReplaced reports a pooled transaction whose nonce was consumed by
+	// a different transaction in an imported block — it can never execute.
+	ErrReplaced = errors.New("node: nonce consumed by an imported block")
 )
 
 // TxResult is the terminal outcome of a pooled transaction: either a
@@ -110,7 +113,7 @@ func (p *mempool) queue(a chain.Address) *senderQueue {
 // add admits a transaction. With autoNonce the pool assigns the next free
 // nonce for the sender atomically (the gateway's path); otherwise the
 // caller-supplied nonce is validated against the account and the queue.
-func (p *mempool) add(tx chain.Transaction, autoNonce bool, wait bool) (chain.Hash, chan TxResult, error) {
+func (p *mempool) add(tx chain.Transaction, autoNonce bool, wait bool) (*poolTx, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
@@ -122,7 +125,7 @@ func (p *mempool) add(tx chain.Transaction, autoNonce bool, wait bool) (chain.Ha
 	}
 	if tx.GasLimit > p.cfg.MaxGasLimit {
 		p.rejected++
-		return chain.Hash{}, nil, fmt.Errorf("%w: %d > %d", ErrGasTooHigh, tx.GasLimit, p.cfg.MaxGasLimit)
+		return nil, fmt.Errorf("%w: %d > %d", ErrGasTooHigh, tx.GasLimit, p.cfg.MaxGasLimit)
 	}
 	q := p.queue(tx.From)
 	chainNonce := p.chain.NonceOf(tx.From)
@@ -132,33 +135,33 @@ func (p *mempool) add(tx chain.Transaction, autoNonce bool, wait bool) (chain.Ha
 	} else {
 		if tx.Nonce < chainNonce {
 			p.rejected++
-			return chain.Hash{}, nil, fmt.Errorf("%w: got %d, account at %d", ErrNonceTooLow, tx.Nonce, chainNonce)
+			return nil, fmt.Errorf("%w: got %d, account at %d", ErrNonceTooLow, tx.Nonce, chainNonce)
 		}
 		if _, ok := q.pending[tx.Nonce]; ok {
 			p.rejected++
-			return chain.Hash{}, nil, fmt.Errorf("%w: nonce %d", ErrKnownTx, tx.Nonce)
+			return nil, fmt.Errorf("%w: nonce %d", ErrKnownTx, tx.Nonce)
 		}
 		if _, ok := q.inflight[tx.Nonce]; ok {
 			p.rejected++
-			return chain.Hash{}, nil, fmt.Errorf("%w: nonce %d executing", ErrKnownTx, tx.Nonce)
+			return nil, fmt.Errorf("%w: nonce %d executing", ErrKnownTx, tx.Nonce)
 		}
 		if tx.Nonce > next+p.cfg.MaxNonceGap {
 			p.rejected++
-			return chain.Hash{}, nil, fmt.Errorf("%w: nonce %d, next executable %d, gap limit %d",
+			return nil, fmt.Errorf("%w: nonce %d, next executable %d, gap limit %d",
 				ErrNonceGap, tx.Nonce, next, p.cfg.MaxNonceGap)
 		}
 	}
 	if tx.Value > 0 {
 		if bal := p.chain.BalanceOf(tx.From); q.reservedValue+tx.Value > bal {
 			p.rejected++
-			return chain.Hash{}, nil, fmt.Errorf("%w: balance %d, pending value %d + %d",
+			return nil, fmt.Errorf("%w: balance %d, pending value %d + %d",
 				ErrUnderfunded, bal, q.reservedValue, tx.Value)
 		}
 	}
 	if p.size >= p.cfg.MaxPoolTxs {
 		if !p.evictForLocked(tx.From, tx.Nonce) {
 			p.rejected++
-			return chain.Hash{}, nil, fmt.Errorf("%w: %d transactions", ErrPoolFull, p.size)
+			return nil, fmt.Errorf("%w: %d transactions", ErrPoolFull, p.size)
 		}
 	}
 
@@ -170,7 +173,7 @@ func (p *mempool) add(tx chain.Transaction, autoNonce bool, wait bool) (chain.Ha
 	q.reservedValue += tx.Value
 	p.size++
 	p.admitted++
-	return ptx.hash, ptx.done, nil
+	return ptx, nil
 }
 
 // evictForLocked frees one slot for an incoming transaction by dropping the
@@ -257,6 +260,88 @@ func (p *mempool) markDone(txs []*poolTx) {
 			delete(p.senders, ptx.tx.From)
 		}
 	}
+}
+
+// removeIncluded reconciles the pool with an imported block: a pooled
+// transaction included by the remote sealer is removed and its waiter gets
+// the receipt, and any pooled transaction left behind the advanced account
+// nonce — its slot consumed by someone else's transaction — is evicted with
+// ErrReplaced. Without this, gossip-delivered blocks would leave the pool
+// full of transactions that can never execute (the pool only purged what
+// the local producer sealed).
+func (p *mempool) removeIncluded(txs []chain.Transaction, receipts []*chain.Receipt, blockNumber uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	touched := make(map[chain.Address]bool, len(txs))
+	for i := range txs {
+		tx := &txs[i]
+		touched[tx.From] = true
+		q, ok := p.senders[tx.From]
+		if !ok {
+			continue
+		}
+		var r *chain.Receipt
+		if i < len(receipts) {
+			r = receipts[i]
+		}
+		if ptx, ok := q.pending[tx.Nonce]; ok && ptx.hash == tx.Hash() {
+			delete(q.pending, tx.Nonce)
+			q.reservedValue -= ptx.tx.Value
+			p.size--
+			ptx.finish(TxResult{Receipt: r, BlockNumber: blockNumber})
+		}
+		if ptx, ok := q.inflight[tx.Nonce]; ok && ptx.hash == tx.Hash() {
+			delete(q.inflight, tx.Nonce)
+			q.reservedValue -= ptx.tx.Value
+			p.size--
+			ptx.finish(TxResult{Receipt: r, BlockNumber: blockNumber})
+		}
+	}
+	// Evict transactions stranded behind the imported nonces.
+	for addr := range touched {
+		q, ok := p.senders[addr]
+		if !ok {
+			continue
+		}
+		chainNonce := p.chain.NonceOf(addr)
+		for nonce, ptx := range q.pending {
+			if nonce < chainNonce {
+				delete(q.pending, nonce)
+				q.reservedValue -= ptx.tx.Value
+				p.size--
+				p.evictions++
+				ptx.finish(TxResult{Err: ErrReplaced})
+			}
+		}
+		if q.empty() {
+			delete(p.senders, addr)
+		}
+	}
+}
+
+// pendingSample returns up to max pending transactions, the contiguous
+// executable run of each sender first — the set worth re-gossiping to peers
+// after a partition heals. Inflight transactions are excluded (a producer
+// already has them).
+func (p *mempool) pendingSample(max int) []chain.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []chain.Transaction
+	for addr, q := range p.senders {
+		if len(out) >= max {
+			break
+		}
+		n := p.chain.NonceOf(addr)
+		for len(out) < max {
+			ptx, ok := q.pending[n]
+			if !ok {
+				break
+			}
+			out = append(out, ptx.tx)
+			n++
+		}
+	}
+	return out
 }
 
 // drainAll empties the pool, delivering err to every waiter (shutdown).

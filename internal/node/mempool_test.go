@@ -32,20 +32,20 @@ func TestAdmissionNonceChecks(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 0}, false, false); !errors.Is(err, ErrNonceTooLow) {
+	if _, err := p.add(chain.Transaction{From: alice, Nonce: 0}, false, false); !errors.Is(err, ErrNonceTooLow) {
 		t.Fatalf("nonce 0: %v, want ErrNonceTooLow", err)
 	}
-	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 1}, false, false); err != nil {
+	if _, err := p.add(chain.Transaction{From: alice, Nonce: 1}, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 1}, false, false); !errors.Is(err, ErrKnownTx) {
+	if _, err := p.add(chain.Transaction{From: alice, Nonce: 1}, false, false); !errors.Is(err, ErrKnownTx) {
 		t.Fatalf("duplicate nonce: %v, want ErrKnownTx", err)
 	}
 	// Next executable is 2; gap limit 4 allows up to 6.
-	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 6}, false, false); err != nil {
+	if _, err := p.add(chain.Transaction{From: alice, Nonce: 6}, false, false); err != nil {
 		t.Fatalf("nonce 6 within gap: %v", err)
 	}
-	if _, _, err := p.add(chain.Transaction{From: alice, Nonce: 8}, false, false); !errors.Is(err, ErrNonceGap) {
+	if _, err := p.add(chain.Transaction{From: alice, Nonce: 8}, false, false); !errors.Is(err, ErrNonceGap) {
 		t.Fatalf("nonce 8: %v, want ErrNonceGap", err)
 	}
 }
@@ -55,17 +55,17 @@ func TestAdmissionBalanceAndGas(t *testing.T) {
 	alice := fund(c, "alice", 500)
 	bob := chain.AddressFromString("bob")
 
-	if _, _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 300, Nonce: 0}, false, false); err != nil {
+	if _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 300, Nonce: 0}, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Second transfer would overdraw counting the reserved 300.
-	if _, _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 300, Nonce: 1}, false, false); !errors.Is(err, ErrUnderfunded) {
+	if _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 300, Nonce: 1}, false, false); !errors.Is(err, ErrUnderfunded) {
 		t.Fatalf("overdraw: %v, want ErrUnderfunded", err)
 	}
-	if _, _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 100, Nonce: 1}, false, false); err != nil {
+	if _, err := p.add(chain.Transaction{From: alice, To: bob, Value: 100, Nonce: 1}, false, false); err != nil {
 		t.Fatalf("affordable second transfer: %v", err)
 	}
-	if _, _, err := p.add(chain.Transaction{From: alice, GasLimit: 200_000, Nonce: 2}, false, false); !errors.Is(err, ErrGasTooHigh) {
+	if _, err := p.add(chain.Transaction{From: alice, GasLimit: 200_000, Nonce: 2}, false, false); !errors.Is(err, ErrGasTooHigh) {
 		t.Fatalf("gas cap: %v, want ErrGasTooHigh", err)
 	}
 }
@@ -74,7 +74,7 @@ func TestAutoNonceAssignment(t *testing.T) {
 	p, c := testPool(t, Config{})
 	alice := fund(c, "alice", 1000)
 	for i := 0; i < 5; i++ {
-		if _, _, err := p.add(chain.Transaction{From: alice}, true, false); err != nil {
+		if _, err := p.add(chain.Transaction{From: alice}, true, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -100,17 +100,18 @@ func TestCapacityEviction(t *testing.T) {
 	// Fill the pool with alice's txs, the last far in the future.
 	var farDone chan TxResult
 	for _, nonce := range []uint64{0, 1, 2} {
-		if _, _, err := p.add(chain.Transaction{From: alice, Nonce: nonce}, false, false); err != nil {
+		if _, err := p.add(chain.Transaction{From: alice, Nonce: nonce}, false, false); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, farDone, err := p.add(chain.Transaction{From: alice, Nonce: 10}, false, true)
+	farPtx, err := p.add(chain.Transaction{From: alice, Nonce: 10}, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
+	farDone = farPtx.done
 
 	// Bob's executable tx evicts alice's nonce-10 straggler.
-	if _, _, err := p.add(chain.Transaction{From: bob, Nonce: 0}, false, false); err != nil {
+	if _, err := p.add(chain.Transaction{From: bob, Nonce: 0}, false, false); err != nil {
 		t.Fatalf("executable tx not admitted at capacity: %v", err)
 	}
 	select {
@@ -123,7 +124,7 @@ func TestCapacityEviction(t *testing.T) {
 	}
 
 	// Another far-future tx cannot displace closer ones.
-	if _, _, err := p.add(chain.Transaction{From: bob, Nonce: 12}, false, false); !errors.Is(err, ErrPoolFull) {
+	if _, err := p.add(chain.Transaction{From: bob, Nonce: 12}, false, false); !errors.Is(err, ErrPoolFull) {
 		t.Fatalf("far-future tx at capacity: %v, want ErrPoolFull", err)
 	}
 	if got := p.Len(); got != 4 {
@@ -193,10 +194,10 @@ func TestParallelProducersAndSubmitters(t *testing.T) {
 			var results []chan TxResult
 			submit := func() bool {
 				for {
-					_, done, err := p.add(chain.Transaction{From: a, To: a, Value: 1}, true, true)
+					ptx, err := p.add(chain.Transaction{From: a, To: a, Value: 1}, true, true)
 					switch {
 					case err == nil:
-						results = append(results, done)
+						results = append(results, ptx.done)
 						return true
 					case errors.Is(err, ErrPoolFull):
 						time.Sleep(100 * time.Microsecond)

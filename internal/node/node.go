@@ -96,7 +96,10 @@ type Stats struct {
 	Rejected     uint64
 	Evicted      uint64
 	BlocksSealed uint64
-	TxsIncluded  uint64
+	// BlocksImported counts remotely sealed blocks replayed through
+	// ImportBlock (zero outside cluster deployments).
+	BlocksImported uint64
+	TxsIncluded    uint64
 	// Seal-time proof batching counters (zero unless a SealVerifier is
 	// configured): transactions whose proofs were validated in a block
 	// batch, and transactions evicted for carrying invalid proofs.
@@ -123,6 +126,7 @@ type Node struct {
 	mu                sync.Mutex
 	running           bool   // guarded by mu
 	blocksSealed      uint64 // guarded by mu
+	blocksImported    uint64 // guarded by mu
 	txsIncluded       uint64 // guarded by mu
 	proofsPreverified uint64 // guarded by mu
 	proofsEvicted     uint64 // guarded by mu
@@ -184,40 +188,129 @@ func (n *Node) Stop() {
 // Submit admits a transaction fire-and-forget; the result is observable via
 // the bus or chain receipts.
 func (n *Node) Submit(tx chain.Transaction) (chain.Hash, error) {
-	h, _, err := n.pool.add(tx, false, false)
+	ptx, err := n.pool.add(tx, false, false)
 	if err != nil {
 		return chain.Hash{}, err
 	}
 	n.wake()
-	return h, nil
+	return ptx.hash, nil
+}
+
+// SubmitForResult admits a transaction (assigning the next account nonce
+// when autoNonce) without blocking, returning the transaction exactly as
+// pooled — nonce assigned, gas default applied — and a 1-buffered channel
+// that will receive its terminal result. The p2p layer uses it to gossip
+// the precise pooled bytes (so remote hashes match) while awaiting
+// inclusion.
+func (n *Node) SubmitForResult(tx chain.Transaction, autoNonce bool) (chain.Transaction, <-chan TxResult, error) {
+	ptx, err := n.pool.add(tx, autoNonce, true)
+	if err != nil {
+		return chain.Transaction{}, nil, err
+	}
+	n.wake()
+	return ptx.tx, ptx.done, nil
 }
 
 // SubmitAndWait admits a transaction (assigning the next account nonce when
 // autoNonce) and blocks until it is sealed into a block, evicted, or the
 // context ends.
 func (n *Node) SubmitAndWait(ctx context.Context, tx chain.Transaction, autoNonce bool) (TxResult, error) {
-	h, done, err := n.pool.add(tx, autoNonce, true)
+	ptx, err := n.pool.add(tx, autoNonce, true)
 	if err != nil {
 		return TxResult{}, err
 	}
 	n.wake()
 	select {
-	case res := <-done:
+	case res := <-ptx.done:
 		return res, res.Err
 	case <-ctx.Done():
 		// The transaction stays pooled; its result is dropped.
-		return TxResult{TxHash: h, Err: ErrWaitCanceled}, ErrWaitCanceled
+		return TxResult{TxHash: ptx.hash, Err: ErrWaitCanceled}, ErrWaitCanceled
 	}
 }
 
 // NextNonce returns the nonce the pool would assign the sender next.
 func (n *Node) NextNonce(a chain.Address) uint64 { return n.pool.NextNonce(a) }
 
+// PendingSample returns up to max pooled transactions for gossip
+// rebroadcast — the executable run of each sender's queue.
+func (n *Node) PendingSample(max int) []chain.Transaction {
+	return n.pool.pendingSample(max)
+}
+
 func (n *Node) wake() {
 	select {
 	case n.kick <- struct{}{}:
 	default:
 	}
+}
+
+// executeBatch runs seal-time proof verification (when configured) and
+// execution over one popped batch, returning the executed transactions and
+// releasing the batch's pool reservations.
+func (n *Node) executeBatch(batch []*poolTx) []executedTx {
+	execBatch := batch
+	if sv := n.cfg.SealVerifier; sv != nil {
+		// Batch-verify the block's proofs in one pairing check.
+		// Valid proofs execute pre-verified (the contract charges
+		// the amortised schedule and skips its own pairing);
+		// transactions with invalid proofs are evicted here, so
+		// they neither waste block space nor run an on-chain
+		// verification doomed to revert.
+		txs := make([]*chain.Transaction, len(batch))
+		for i, ptx := range batch {
+			txs[i] = &ptx.tx
+		}
+		verified, errs := sv.VerifyBatch(txs)
+		var evicted int
+		if len(errs) == len(batch) {
+			kept := make([]*poolTx, 0, len(batch))
+			for i, ptx := range batch {
+				if errs[i] != nil {
+					ptx.finish(TxResult{Err: errs[i]})
+					evicted++
+					continue
+				}
+				kept = append(kept, ptx)
+			}
+			execBatch = kept
+		}
+		n.mu.Lock()
+		n.proofsPreverified += uint64(verified)
+		n.proofsEvicted += uint64(evicted)
+		n.mu.Unlock()
+	}
+	executed := make([]executedTx, 0, len(execBatch))
+	for _, ptx := range execBatch {
+		r, err := n.chain.Submit(ptx.tx)
+		executed = append(executed, executedTx{ptx: ptx, receipt: r, err: err})
+	}
+	n.pool.markDone(batch)
+	return executed
+}
+
+// sealExecuted seals the executed transactions into a block, records
+// latency and counters, and delivers waiter results.
+func (n *Node) sealExecuted(executed []executedTx) chain.Block {
+	b := n.chain.SealBlock() // dispatches OnSeal hooks (bus, indexer)
+	now := time.Now()
+	n.mu.Lock()
+	n.blocksSealed++
+	n.txsIncluded += uint64(len(executed))
+	for _, e := range executed {
+		if e.err == nil {
+			n.recordLatencyLocked(now.Sub(e.ptx.added))
+		}
+	}
+	n.mu.Unlock()
+	for _, e := range executed {
+		if e.err != nil {
+			e.ptx.finish(TxResult{Err: e.err})
+			continue
+		}
+		e.ptx.finish(TxResult{Receipt: e.receipt, BlockNumber: b.Number})
+	}
+	return b
 }
 
 // run is the block producer: it drains executable transactions from the
@@ -233,24 +326,7 @@ func (n *Node) run() {
 		if len(executed) == 0 {
 			return
 		}
-		b := n.chain.SealBlock() // dispatches OnSeal hooks (bus, indexer)
-		now := time.Now()
-		n.mu.Lock()
-		n.blocksSealed++
-		n.txsIncluded += uint64(len(executed))
-		for _, e := range executed {
-			if e.err == nil {
-				n.recordLatencyLocked(now.Sub(e.ptx.added))
-			}
-		}
-		n.mu.Unlock()
-		for _, e := range executed {
-			if e.err != nil {
-				e.ptx.finish(TxResult{Err: e.err})
-				continue
-			}
-			e.ptx.finish(TxResult{Receipt: e.receipt, BlockNumber: b.Number})
-		}
+		n.sealExecuted(executed)
 		executed = executed[:0]
 	}
 
@@ -260,42 +336,7 @@ func (n *Node) run() {
 			if len(batch) == 0 {
 				return
 			}
-			execBatch := batch
-			if sv := n.cfg.SealVerifier; sv != nil {
-				// Batch-verify the block's proofs in one pairing check.
-				// Valid proofs execute pre-verified (the contract charges
-				// the amortised schedule and skips its own pairing);
-				// transactions with invalid proofs are evicted here, so
-				// they neither waste block space nor run an on-chain
-				// verification doomed to revert.
-				txs := make([]*chain.Transaction, len(batch))
-				for i, ptx := range batch {
-					txs[i] = &ptx.tx
-				}
-				verified, errs := sv.VerifyBatch(txs)
-				var evicted int
-				if len(errs) == len(batch) {
-					kept := make([]*poolTx, 0, len(batch))
-					for i, ptx := range batch {
-						if errs[i] != nil {
-							ptx.finish(TxResult{Err: errs[i]})
-							evicted++
-							continue
-						}
-						kept = append(kept, ptx)
-					}
-					execBatch = kept
-				}
-				n.mu.Lock()
-				n.proofsPreverified += uint64(verified)
-				n.proofsEvicted += uint64(evicted)
-				n.mu.Unlock()
-			}
-			for _, ptx := range execBatch {
-				r, err := n.chain.Submit(ptx.tx)
-				executed = append(executed, executedTx{ptx: ptx, receipt: r, err: err})
-			}
-			n.pool.markDone(batch)
+			executed = append(executed, n.executeBatch(batch)...)
 			if len(executed) >= n.cfg.MaxBlockTxs {
 				seal()
 			}
@@ -316,6 +357,46 @@ func (n *Node) run() {
 			return
 		}
 	}
+}
+
+// SealNow synchronously drains up to one block's worth of executable
+// transactions, executes them, and seals them into a block — the
+// entry point for external block producers (a p2p cluster's leader
+// rotation drives this instead of Start's free-running loop). ok is false
+// when no transactions were executable, in which case no block is sealed.
+// Do not mix with Start: a node is either self-sealing or externally
+// driven.
+func (n *Node) SealNow() (chain.Block, bool) {
+	var executed []executedTx
+	for len(executed) < n.cfg.MaxBlockTxs {
+		batch := n.pool.pop(n.cfg.MaxBlockTxs - len(executed))
+		if len(batch) == 0 {
+			break
+		}
+		executed = append(executed, n.executeBatch(batch)...)
+	}
+	if len(executed) == 0 {
+		return chain.Block{}, false
+	}
+	return n.sealExecuted(executed), true
+}
+
+// ImportBlock replays a remotely sealed block into the local chain and
+// reconciles the mempool: transactions included by the remote sealer are
+// purged from the pool (delivering their receipts to any local waiters),
+// and transactions made unexecutable by the imported nonces are evicted.
+// The chain's OnSeal hooks (bus, indexer) run exactly as for a locally
+// sealed block, so every node indexes imported blocks identically.
+func (n *Node) ImportBlock(b chain.Block, txs []chain.Transaction) ([]*chain.Receipt, error) {
+	receipts, err := n.chain.ImportBlock(b, txs)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.blocksImported++
+	n.mu.Unlock()
+	n.pool.removeIncluded(txs, receipts, b.Number)
+	return receipts, nil
 }
 
 func (n *Node) recordLatencyLocked(d time.Duration) {
@@ -341,6 +422,7 @@ func (n *Node) Stats() Stats {
 
 	n.mu.Lock()
 	s.BlocksSealed = n.blocksSealed
+	s.BlocksImported = n.blocksImported
 	s.TxsIncluded = n.txsIncluded
 	s.ProofsPreverified = n.proofsPreverified
 	s.ProofsEvicted = n.proofsEvicted

@@ -175,11 +175,11 @@ func TestStopDrainsPool(t *testing.T) {
 
 	done := make([]chan TxResult, 0, 10)
 	for i := 0; i < 10; i++ {
-		_, ch, err := n.pool.add(chain.Transaction{From: alice, To: bob, Value: 1}, true, true)
+		ptx, err := n.pool.add(chain.Transaction{From: alice, To: bob, Value: 1}, true, true)
 		if err != nil {
 			t.Fatal(err)
 		}
-		done = append(done, ch)
+		done = append(done, ptx.done)
 	}
 	n.Stop()
 	for i, ch := range done {
