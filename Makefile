@@ -11,11 +11,13 @@ GO ?= go
 # contract execution consuming the marks. storage/core/zkdet-node joined
 # once their lock annotations landed: the DHT repair path, the circuit-key
 # cache, and the JSON-RPC daemon all serve concurrent callers.
+# internal/chain/... includes internal/chain/exec (the parallel batch
+# scheduler/commit-log) and the engine's bit-identity property tests.
 RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
 	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/... \
 	./internal/storage/... ./internal/core/... ./internal/p2p/... ./cmd/zkdet-node/...
 
-.PHONY: check vet build lint test race fuzz-smoke bench bench-verify bench-p2p node-demo cluster-demo
+.PHONY: check vet build lint test race fuzz-smoke bench bench-verify bench-p2p bench-exec node-demo cluster-demo
 
 check: vet build lint test race
 
@@ -69,6 +71,14 @@ bench-verify:
 bench-p2p:
 	$(GO) test -run='^$$' -bench='BenchmarkGossipPropagation$$|BenchmarkChainSync$$' -benchtime=10x \
 		./internal/bench/
+
+# Execution-layer benchmark: sealed tx/s for the parallel batch engine vs
+# the serial reference at 1/2/4/8 workers and 100/1k/10k clients on a
+# conflict-light DataNFT workload; see EXPERIMENTS.md §Execution layer for
+# recorded numbers. `go run ./cmd/zkdet-bench -exec` prints the same sweep
+# as a table with speedups and engine counters.
+bench-exec:
+	$(GO) test -run='^$$' -bench='BenchmarkExecThroughput$$' -benchtime=1x ./internal/bench/
 
 # Boot the node daemon in-process and drive 100 concurrent clients through
 # full exchange lifecycles over HTTP JSON-RPC; prints tx/s and p50/p99.

@@ -10,6 +10,7 @@
 //	zkdet-bench -proofsize           # §VI-B3 constant-proof-size check
 //	zkdet-bench -ablation cipher|commitment|decouple
 //	zkdet-bench -p2p                 # network layer: gossip propagation, chain sync
+//	zkdet-bench -exec                # execution layer: sealed tx/s, serial vs parallel
 //	zkdet-bench -scale medium        # larger workloads (slower)
 //
 // Absolute times are not expected to match the paper (this is a
@@ -75,6 +76,7 @@ func main() {
 		proofSize    = flag.Bool("proofsize", false, "check the constant-proof-size claim (§VI-B3)")
 		ablationFlag = flag.String("ablation", "", "run an ablation: cipher, commitment or decouple")
 		p2pFlag      = flag.Bool("p2p", false, "run the network-layer experiments (gossip, sync)")
+		execFlag     = flag.Bool("exec", false, "run the execution-layer experiment (sealed tx/s, serial vs parallel)")
 		allFlag      = flag.Bool("all", false, "run every experiment")
 		scaleFlag    = flag.String("scale", "small", "workload scale: small or medium")
 	)
@@ -84,7 +86,7 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown scale %q (want small or medium)", *scaleFlag)
 	}
-	if !*allFlag && *figFlag == 0 && *tableFlag == 0 && *ablationFlag == "" && !*proofSize && !*p2pFlag {
+	if !*allFlag && *figFlag == 0 && *tableFlag == 0 && *ablationFlag == "" && !*proofSize && !*p2pFlag && !*execFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -132,6 +134,9 @@ func main() {
 	}
 	if *allFlag || *p2pFlag {
 		runP2P()
+	}
+	if *allFlag || *execFlag {
+		runExec()
 	}
 }
 
@@ -294,4 +299,32 @@ func runP2P() {
 	}
 	fmt.Println("(throughput rises with length as the per-cluster start-up cost and the first")
 	fmt.Println(" status round-trip amortize across more 64-header batches)")
+}
+
+func runExec() {
+	header("Execution layer — sealed tx/s, serial vs parallel batch execution")
+	fmt.Println("workload: DataNFT transfers between disjoint client pairs (conflict-light);")
+	fmt.Println("workers=1 is the retained serial reference; blocks are bit-identical across widths")
+	rows, err := bench.ExecSweep([]int{100, 1000, 10000}, []int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatalf("exec: %v", err)
+	}
+	serialRate := map[int]float64{}
+	for _, r := range rows {
+		if r.Workers == 1 {
+			serialRate[r.Clients] = r.TxPerSec
+		}
+	}
+	fmt.Printf("%-10s %-10s %-8s %-12s %-10s %-12s %-11s %-10s %s\n",
+		"clients", "workers", "txs", "tx/s", "speedup", "speculated", "committed", "conflicts", "serial")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-10d %-8d %-12.0f %-10s %-12d %-11d %-10d %d\n",
+			r.Clients, r.Workers, r.Txs, r.TxPerSec,
+			fmt.Sprintf("%.2fx", r.TxPerSec/serialRate[r.Clients]),
+			r.Speculated, r.Committed, r.Conflicts, r.Serial)
+	}
+	fmt.Println("(the parallel engine's gain on this box is algorithmic — per-tx effects apply from")
+	fmt.Println(" captured write sets instead of the serial path's full balance snapshot, so the")
+	fmt.Println(" advantage grows with the client population; on multi-core hardware the group")
+	fmt.Println(" speculation additionally spreads across cores)")
 }

@@ -120,3 +120,78 @@ func goodClosureLocks(c *Counter) func() {
 		c.n++
 	}
 }
+
+// Commit-phase cases, modeled on the chain's parallel batch executor:
+// speculation workers run lock-free over frozen pre-state, then a single
+// commit phase applies effects under the engine lock, leaning on the two
+// annotation escapes ("Locked" suffix, "caller holds" doc) for its helpers.
+
+// Engine is the two-phase executor shape: both maps belong to the commit
+// phase and carry commit-phase locking annotations.
+type Engine struct {
+	mu sync.Mutex
+	// guarded by mu; written only by the commit phase, in batch order
+	state map[string]int
+	// guarded by mu; effects awaiting commit-time validation
+	pending []int
+}
+
+// badSpeculativeCommit applies an effect without entering the commit phase.
+func badSpeculativeCommit(e *Engine) {
+	e.state["x"] = 1 // want "e.state is guarded by e.mu"
+}
+
+// badWorkerLeak is the bug the commit-phase convention exists to prevent: a
+// speculation worker (a goroutine literal, analyzed lock-free) touching
+// commit-phase state directly instead of its own overlay.
+func badWorkerLeak(e *Engine) {
+	go func() {
+		e.pending = nil // want "e.pending is guarded by e.mu"
+	}()
+}
+
+// applyLocked is the commit-phase helper convention: the "Locked" suffix
+// asserts the caller already holds e.mu, so its accesses pass unflagged.
+func applyLocked(e *Engine, k string, v int) {
+	e.state[k] = v
+	e.pending = e.pending[:0]
+}
+
+// validateEffect runs inside the commit loop; caller holds e.mu for the
+// whole validate-and-apply sequence.
+func validateEffect(e *Engine, i int) bool {
+	return i < len(e.pending)
+}
+
+// goodCommitPhase drives the canonical sequence: one lock acquisition spans
+// validation, Locked helpers, and direct writes; workers spawned after the
+// commit re-lock for themselves.
+func goodCommitPhase(e *Engine, ks []string) {
+	e.mu.Lock()
+	for i, k := range ks {
+		if !validateEffect(e, i) {
+			continue
+		}
+		applyLocked(e, k, i)
+		e.state[k] = i
+	}
+	e.mu.Unlock()
+	go func() {
+		e.mu.Lock()
+		e.state["sealed"] = 1
+		e.mu.Unlock()
+	}()
+}
+
+// txOverlay is the per-transaction view shape: it reaches the engine's
+// guarded maps through a stored pointer, so its accesses are two-level
+// selectors (v.e.state) outside lockguard's single-receiver scope. The
+// engine documents those paths with "caller holds" comments instead; this
+// pins that the analyzer stays silent rather than guessing.
+type txOverlay struct{ e *Engine }
+
+// baseRead reads through to committed state; caller holds e.mu (documented,
+// not analyzable — the access below must not be flagged).
+func (v *txOverlay) baseRead(k string) int {
+	return v.e.state[k]
+}

@@ -254,6 +254,70 @@ func runClient(c *rpcClient, id int, fx *exchangeFixture, latencies *[]time.Dura
 	return txs, ok, nil
 }
 
+// runTransferClient is the light workload: one faucet, then txPerClient
+// plain value transfers to the client's own payee. No proofs, no contract
+// state — pure admission/execution/sealing throughput, cheap enough per
+// client to push the population toward 10k and watch the parallel batch
+// engine's scheduling (disjoint pairs: every tx is conflict-free).
+func runTransferClient(c *rpcClient, id, txPerClient int, latencies *[]time.Duration, mu *sync.Mutex) (int, error) {
+	payer := fmt.Sprintf("payer-%05d", id)
+	payee := fmt.Sprintf("payee-%05d", id)
+	if err := c.call("zkdet_faucet", map[string]any{"address": payer, "amount": 1 << 20}, nil); err != nil {
+		return 0, err
+	}
+	txs := 0
+	for i := 0; i < txPerClient; i++ {
+		start := time.Now()
+		if _, err := c.sendWait(txParams{From: payer, To: payee, Value: 1}); err != nil {
+			return txs, fmt.Errorf("transfer %d: %w", i, err)
+		}
+		mu.Lock()
+		*latencies = append(*latencies, time.Since(start))
+		mu.Unlock()
+		txs++
+	}
+	return txs, nil
+}
+
+// runTransferLoad fans clients concurrent plain-transfer streams at the
+// gateway; the report's provenance count is not applicable and stays at
+// Clients so the caller's check passes.
+func runTransferLoad(url string, clients, txPerClient int) (*loadReport, error) {
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+		errs      = make([]error, clients)
+		txCounts  = make([]int, clients)
+	)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := newRPCClient(url)
+			txCounts[i], errs[i] = runTransferClient(c, i, txPerClient, &latencies, &mu)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &loadReport{Clients: clients, Elapsed: elapsed, Provenance: clients}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("client %d: %w", i, errs[i])
+		}
+		report.Txs += txCounts[i]
+	}
+	report.TPS = float64(report.Txs) / elapsed.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		report.P50 = latencies[len(latencies)/2]
+		report.P99 = latencies[len(latencies)*99/100]
+	}
+	return report, nil
+}
+
 // runLoad fans clients concurrent exchange flows at the gateway and reports
 // throughput and latency percentiles.
 func runLoad(url string, fx *exchangeFixture, clients int) (*loadReport, error) {

@@ -39,8 +39,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  zkdet-node serve [-addr :8545] [-block-interval 25ms] [-max-block-txs 256]
-  zkdet-node load  [-clients 100] [-addr 127.0.0.1:0]`)
+  zkdet-node serve [-addr :8545] [-block-interval 25ms] [-max-block-txs 256] [-exec-workers 0]
+  zkdet-node load  [-clients 100] [-addr 127.0.0.1:0] [-workload exchange|transfer] [-txs-per-client 5]`)
 }
 
 func nodeFlags(fs *flag.FlagSet, cfg *serverConfig) {
@@ -48,6 +48,7 @@ func nodeFlags(fs *flag.FlagSet, cfg *serverConfig) {
 	fs.IntVar(&cfg.node.MaxBlockTxs, "max-block-txs", cfg.node.MaxBlockTxs, "max transactions per block")
 	fs.IntVar(&cfg.node.MaxPoolTxs, "max-pool-txs", cfg.node.MaxPoolTxs, "mempool capacity")
 	fs.IntVar(&cfg.storageNodes, "storage-nodes", cfg.storageNodes, "simulated storage network size")
+	fs.IntVar(&cfg.node.ExecWorkers, "exec-workers", cfg.node.ExecWorkers, "parallel execution width for block batches (0 = machine size, 1 = serial)")
 }
 
 func cmdServe(args []string) error {
@@ -82,10 +83,15 @@ func cmdLoad(args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address for the in-process daemon")
 	clients := fs.Int("clients", 100, "concurrent exchange clients")
+	workload := fs.String("workload", "exchange", "client workload: exchange (full lifecycle) or transfer (light, scales to 10k clients)")
+	txPerClient := fs.Int("txs-per-client", 5, "transfers per client (transfer workload only)")
 	cfg := defaultServerConfig()
 	nodeFlags(fs, &cfg)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workload != "exchange" && *workload != "transfer" {
+		return fmt.Errorf("unknown workload %q (want exchange or transfer)", *workload)
 	}
 
 	fmt.Println("setting up proof system and deploying contracts…")
@@ -98,17 +104,25 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("daemon on %s; proving the shared π_k…\n", bound)
-	start := time.Now()
-	fx, err := buildFixture(srv.mkt.Sys)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("π_k proved in %s; launching %d clients (each runs a full exchange: "+
-		"faucet, publish, mint, duplicate, escrow open, settle with on-chain verification, transfer, provenance check)\n",
-		time.Since(start).Round(time.Millisecond), *clients)
 
-	report, err := runLoad("http://"+bound, fx, *clients)
+	var report *loadReport
+	if *workload == "transfer" {
+		fmt.Printf("daemon on %s; launching %d clients × %d plain transfers (light workload)\n",
+			bound, *clients, *txPerClient)
+		report, err = runTransferLoad("http://"+bound, *clients, *txPerClient)
+	} else {
+		fmt.Printf("daemon on %s; proving the shared π_k…\n", bound)
+		start := time.Now()
+		var fx *exchangeFixture
+		fx, err = buildFixture(srv.mkt.Sys)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("π_k proved in %s; launching %d clients (each runs a full exchange: "+
+			"faucet, publish, mint, duplicate, escrow open, settle with on-chain verification, transfer, provenance check)\n",
+			time.Since(start).Round(time.Millisecond), *clients)
+		report, err = runLoad("http://"+bound, fx, *clients)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExecThroughputShape checks the experiment at sizes CI can afford: a
+// conflict-light pair workload must speculate and commit (no conflicts, no
+// serial fallbacks beyond the mint warm-up), and the parallel run must move
+// the same transaction volume as the serial one. The Benchmark* variant is
+// the `make bench-exec` entry point at full scale.
+func TestExecThroughputShape(t *testing.T) {
+	serial, err := ExecThroughput(20, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExecThroughput(20, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Txs != par.Txs || serial.Txs != 30 {
+		t.Fatalf("tx volumes diverge: serial %d, parallel %d", serial.Txs, par.Txs)
+	}
+	if serial.Speculated != 0 {
+		t.Fatalf("serial run speculated %d txs, want 0", serial.Speculated)
+	}
+	if par.Speculated == 0 || par.Committed == 0 {
+		t.Fatalf("parallel run never speculated: %+v", par)
+	}
+	if par.Conflicts != 0 {
+		t.Fatalf("conflict-light workload hit %d conflicts", par.Conflicts)
+	}
+	if par.TxPerSec <= 0 || serial.TxPerSec <= 0 {
+		t.Fatalf("non-positive throughput: serial %f, parallel %f", serial.TxPerSec, par.TxPerSec)
+	}
+}
+
+// BenchmarkExecThroughput reports sealed tx/s per (clients × workers) cell;
+// see EXPERIMENTS.md §Execution layer for recorded numbers.
+func BenchmarkExecThroughput(b *testing.B) {
+	for _, clients := range []int{100, 1000, 10000} {
+		rounds := 4096 / clients
+		if rounds < 2 {
+			rounds = 2
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("clients=%d/workers=%d", clients, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					row, err := ExecThroughput(clients, workers, rounds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(row.TxPerSec, "tx/s")
+				}
+			})
+		}
+	}
+}

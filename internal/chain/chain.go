@@ -19,6 +19,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/zkdet/zkdet/internal/chain/exec"
 )
 
 // Address identifies an account (20 bytes, Ethereum-style).
@@ -165,13 +167,42 @@ type Contract interface {
 	Call(ctx *CallContext, method string, args []byte) ([]byte, error)
 }
 
+// execEnv is the state backend a CallContext executes against: the live
+// chain during serial execution (with c.mu held), or a speculative
+// transaction view (txView) during parallel batch execution. Contracts are
+// oblivious to which one they run on — that is what makes speculative
+// execution bit-identical to serial execution when no conflict occurs.
+type execEnv interface {
+	blockNumber() uint64
+	transferValue(from, to Address, amount uint64) error
+	getContract(name string) (Contract, bool)
+	storeFor(name string) *Storage
+}
+
+// blockNumber returns the current height; caller holds c.mu.
+func (c *Chain) blockNumber() uint64 { return uint64(len(c.blocks)) }
+
+// transferValue moves native value between accounts; caller holds c.mu.
+func (c *Chain) transferValue(from, to Address, amount uint64) error {
+	return c.transferLocked(from, to, amount)
+}
+
+// getContract looks up a deployed contract; caller holds c.mu.
+func (c *Chain) getContract(name string) (Contract, bool) {
+	ct, ok := c.contracts[name]
+	return ct, ok
+}
+
+// storeFor returns a contract's root storage; caller holds c.mu.
+func (c *Chain) storeFor(name string) *Storage { return c.storages[name] }
+
 // CallContext is passed to contract methods.
 type CallContext struct {
 	Sender  Address
 	Value   uint64
 	Gas     *GasMeter
 	Store   *Storage
-	chain   *Chain
+	env     execEnv
 	name    string
 	logs    []Event
 	journal *journal
@@ -203,11 +234,11 @@ func (ctx *CallContext) Transfer(to Address, amount uint64) error {
 	if err := ctx.Gas.Charge(GasValueTransfer); err != nil {
 		return err
 	}
-	return ctx.chain.transferLocked(contractAddress(ctx.name), to, amount)
+	return ctx.env.transferValue(contractAddress(ctx.name), to, amount)
 }
 
 // BlockNumber returns the current block height.
-func (ctx *CallContext) BlockNumber() uint64 { return uint64(len(ctx.chain.blocks)) }
+func (ctx *CallContext) BlockNumber() uint64 { return ctx.env.blockNumber() }
 
 // CallContract performs a gas-metered cross-contract call. The callee sees
 // this contract's escrow address as the sender; its storage shares the
@@ -215,15 +246,15 @@ func (ctx *CallContext) BlockNumber() uint64 { return uint64(len(ctx.chain.block
 // A failing sub-call propagates its error, and the chain rolls back every
 // contract's state when the outer call reverts.
 func (ctx *CallContext) CallContract(name, method string, args []byte) ([]byte, error) {
-	callee, ok := ctx.chain.contracts[name]
+	callee, ok := ctx.env.getContract(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownContract, name)
 	}
 	sub := &CallContext{
 		Sender:  contractAddress(ctx.name),
 		Gas:     ctx.Gas,
-		Store:   ctx.chain.storages[name].metered(ctx.Gas, ctx.journal),
-		chain:   ctx.chain,
+		Store:   ctx.env.storeFor(name).metered(ctx.Gas, ctx.journal),
+		env:     ctx.env,
 		name:    name,
 		journal: ctx.journal,
 	}
@@ -267,10 +298,23 @@ type Chain struct {
 	// importing nodes.
 	txs map[Hash]Transaction // guarded by mu
 
-	// sealMu serializes SealBlock and the synchronous seal-hook dispatch so
-	// hooks observe blocks strictly in height order.
+	// sealMu serializes SealBlock/ImportBlock and the synchronous seal-hook
+	// dispatch. Hook dispatch deliberately happens under sealMu (not just
+	// the block append): it is what gives hooks the strict height-order
+	// guarantee even when producers and importers race. Hooks run with mu
+	// RELEASED, so a slow hook delays the next seal/import but can never
+	// deadlock them, and hooks may freely call back into chain reads and
+	// Submit. The one re-entrancy hooks must avoid is SealBlock/ImportBlock
+	// themselves (sealMu is not reentrant).
 	sealHooks []func(Block, []*Receipt) // guarded by sealMu
 	sealMu    sync.Mutex
+
+	// execWorkers is the default worker count for batch execution
+	// (SubmitBatch, ImportBlock replay); 1 means serial. guarded by mu
+	execWorkers int
+	// execStats aggregates parallel-engine counters; internally
+	// synchronized, see exec.Counters.
+	execStats exec.Counters
 }
 
 // New returns an empty chain with a genesis block.
@@ -285,15 +329,24 @@ func New() *Chain {
 		txs:       make(map[Hash]Transaction),
 		now:       time.Now,
 	}
+	c.execWorkers = 1
 	genesis := Block{Number: 0, Time: c.now()}
 	c.blocks = []Block{genesis}
 	return c
 }
 
-// OnSeal registers a hook invoked synchronously after every SealBlock with
-// the sealed block and its receipts, in height order. Hooks run without the
-// chain lock held, so they may call back into the chain; they must not call
-// SealBlock. Off-chain consumers (block buses, indexers) attach here.
+// OnSeal registers a hook invoked synchronously after every SealBlock (and
+// every successful ImportBlock) with the sealed block and its receipts.
+//
+// Ordering contract: hooks are dispatched while sealMu is still held, so a
+// hook observes blocks strictly in height order with no interleaving — by
+// the time it sees block N, every hook has finished with block N-1, and no
+// other goroutine can seal or import block N+1 until it returns. The state
+// lock (mu) is released during dispatch, so hooks may call back into chain
+// reads and Submit; a slow hook therefore back-pressures sealing and
+// importing (they wait on sealMu) but cannot deadlock them. Hooks must not
+// call SealBlock or ImportBlock. Off-chain consumers (block buses,
+// indexers) attach here.
 func (c *Chain) OnSeal(fn func(Block, []*Receipt)) {
 	c.sealMu.Lock()
 	defer c.sealMu.Unlock()
@@ -426,7 +479,7 @@ func (c *Chain) submitLocked(tx Transaction) (*Receipt, error) {
 		Value:   tx.Value,
 		Gas:     gas,
 		Store:   store.metered(gas, j),
-		chain:   c,
+		env:     c,
 		name:    tx.Contract,
 		journal: j,
 	}
@@ -506,7 +559,8 @@ func (c *Chain) Receipt(h Hash) (*Receipt, bool) {
 // SealBlock commits pending transactions into a new hash-linked block and
 // dispatches it (with its receipts) to every OnSeal hook before returning,
 // so indexers are consistent with the chain by the time the sealer observes
-// the new block.
+// the new block. Dispatch happens under sealMu with mu released — see the
+// OnSeal ordering contract.
 func (c *Chain) SealBlock() Block {
 	c.sealMu.Lock()
 	defer c.sealMu.Unlock()

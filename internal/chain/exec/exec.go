@@ -1,0 +1,265 @@
+// Package exec is the scheduling and conflict-detection core of the
+// chain's parallel transaction executor. It is deliberately free of any
+// chain types: transactions are indices into a batch, state is a set of
+// opaque resource strings, and the package answers exactly two questions —
+//
+//  1. which transactions of a batch may execute speculatively side by
+//     side (Schedule, driven by statically declared read/write sets), and
+//  2. whether a speculative execution observed exactly the state the
+//     serial order would have shown it (CommitLog, driven by the read and
+//     write sets captured at run time).
+//
+// The split matters: declared sets are hints and may be incomplete (a
+// mint cannot name the token keys it will allocate before reading the id
+// counter), so scheduling alone can never be trusted. Captured sets are
+// ground truth — every read a speculative execution performed is recorded
+// together with the batch-local writers whose effects it observed, and
+// the commit phase replays that observation against what actually
+// committed. A mismatch means the speculation ran against stale state and
+// the transaction is re-executed serially, which is always correct.
+//
+// Resources model three access kinds:
+//
+//   - reads: order-sensitive observations,
+//   - writes: absolute (last-writer-wins) mutations, and
+//   - deltas: commutative mutations (balance credits) that conflict with
+//     reads and writes but not with each other.
+package exec
+
+import (
+	"sort"
+	"sync"
+)
+
+// RWSet is a transaction's statically declared resource footprint, used
+// only for scheduling. Nil or incomplete sets are safe: the commit-time
+// validation catches every undeclared access. Speculate gates phase-1
+// execution — transactions with order-sensitive side effects outside
+// chain state (e.g. consuming seal-time proof-verification marks) must
+// set it false so they run exactly once, at commit time, in block order.
+type RWSet struct {
+	Reads     []string
+	Writes    []string
+	Deltas    []string
+	Speculate bool
+}
+
+// touch is one transaction's access to one resource during scheduling.
+type touchKind uint8
+
+const (
+	touchRead touchKind = iota
+	touchWrite
+	touchDelta
+)
+
+// Schedule partitions a batch into groups of transactions that may
+// execute speculatively in parallel. Two transactions land in the same
+// group when they touch a common resource in a conflicting way:
+//
+//   - a resource with at least one absolute writer groups every toucher,
+//   - a resource with delta writers and at least one reader groups every
+//     toucher (the reader's observation depends on how many deltas
+//     preceded it),
+//   - read-only and delta-only resources group nobody.
+//
+// Group members keep their batch order, so per-sender nonce chains (the
+// sender's account is a read+write resource of every transaction) always
+// execute in order on one worker. The groups themselves are returned
+// ordered by their first member.
+func Schedule(sets []*RWSet) [][]int {
+	parent := make([]int, len(sets))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	type toucher struct {
+		idx  int
+		kind touchKind
+	}
+	touchers := make(map[string][]toucher)
+	note := func(i int, res []string, kind touchKind) {
+		for _, r := range res {
+			touchers[r] = append(touchers[r], toucher{idx: i, kind: kind})
+		}
+	}
+	for i, s := range sets {
+		if s == nil {
+			continue
+		}
+		note(i, s.Reads, touchRead)
+		note(i, s.Writes, touchWrite)
+		note(i, s.Deltas, touchDelta)
+	}
+
+	for _, ts := range touchers {
+		var hasWrite, hasRead, hasDelta bool
+		for _, t := range ts {
+			switch t.kind {
+			case touchWrite:
+				hasWrite = true
+			case touchRead:
+				hasRead = true
+			case touchDelta:
+				hasDelta = true
+			}
+		}
+		if hasWrite || (hasDelta && hasRead) {
+			for i := 1; i < len(ts); i++ {
+				union(ts[0].idx, ts[i].idx)
+			}
+		}
+	}
+
+	members := make(map[int][]int)
+	var roots []int
+	for i := range sets {
+		r := find(i)
+		if _, ok := members[r]; !ok {
+			roots = append(roots, r)
+		}
+		members[r] = append(members[r], i)
+	}
+	sort.Ints(roots)
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, members[r])
+	}
+	return groups
+}
+
+// Access is one captured read: the resource and the ordered batch-local
+// writers whose effects were folded into the value observed. An empty
+// writer list means the read was served from pre-batch state.
+type Access struct {
+	Res     string
+	Writers []int
+}
+
+// CommitLog tracks, during the serial commit phase, which transaction
+// indices have written each resource, in commit (= batch) order. It is
+// what turns captured read sets into a commit/re-execute decision.
+//
+// CommitLog is used from the single commit goroutine only and needs no
+// locking; the phase-1 side of the engine reports through Counters.
+type CommitLog struct {
+	writers map[string][]int
+	// dirty marks transactions that were re-executed at commit time instead
+	// of committing their speculation. A re-execution keeps its batch index
+	// but may write different values, so any speculation that observed a
+	// dirty writer is invalid even when the writer indices line up.
+	dirty map[int]bool
+}
+
+// NewCommitLog returns an empty log.
+func NewCommitLog() *CommitLog {
+	return &CommitLog{writers: make(map[string][]int), dirty: make(map[int]bool)}
+}
+
+// MarkReexecuted notes that transaction i did not commit its speculative
+// effects (it was re-executed serially, or never speculated). Call before
+// validating any later transaction.
+func (l *CommitLog) MarkReexecuted(i int) {
+	l.dirty[i] = true
+}
+
+// Record notes that transaction i wrote (absolutely or by delta) each of
+// the given resources. Call in commit order.
+func (l *CommitLog) Record(i int, res []string) {
+	for _, r := range res {
+		l.writers[r] = append(l.writers[r], i)
+	}
+}
+
+// Valid reports whether every captured read observed exactly the writer
+// sequence that has committed: for each access, the committed writers of
+// the resource must equal the observed writers, and none of them may have
+// been re-executed (MarkReexecuted). Any divergence — a committed writer
+// the speculation did not see, or a speculated predecessor whose own
+// commit diverged — fails validation and the transaction must re-execute
+// serially.
+func (l *CommitLog) Valid(reads []Access) bool {
+	for _, a := range reads {
+		committed := l.writers[a.Res]
+		if len(committed) != len(a.Writers) {
+			return false
+		}
+		for i := range committed {
+			if committed[i] != a.Writers[i] {
+				return false
+			}
+			if l.dirty[committed[i]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Counters aggregates engine statistics across the speculative workers
+// and the commit phase. The speculation side runs on many goroutines, so
+// every field is guarded.
+type Counters struct {
+	mu sync.Mutex
+	// Speculated counts transactions executed in phase 1. guarded by mu
+	speculated uint64
+	// committed counts speculations applied as-is. guarded by mu
+	committed uint64
+	// conflicts counts speculations discarded at validation. guarded by mu
+	conflicts uint64
+	// serial counts commit-time (non-speculated or fallback) executions.
+	// guarded by mu
+	serial uint64
+}
+
+// AddSpeculated notes n phase-1 executions; safe for concurrent use.
+func (c *Counters) AddSpeculated(n int) {
+	c.mu.Lock()
+	c.speculated += uint64(n)
+	c.mu.Unlock()
+}
+
+// AddCommitted notes a speculation applied without re-execution.
+func (c *Counters) AddCommitted() {
+	c.mu.Lock()
+	c.committed++
+	c.mu.Unlock()
+}
+
+// AddConflict notes a speculation discarded by commit-time validation.
+func (c *Counters) AddConflict() {
+	c.mu.Lock()
+	c.conflicts++
+	c.mu.Unlock()
+}
+
+// AddSerial notes a commit-phase serial execution.
+func (c *Counters) AddSerial() {
+	c.mu.Lock()
+	c.serial++
+	c.mu.Unlock()
+}
+
+// Snapshot returns (speculated, committed, conflicts, serial).
+func (c *Counters) Snapshot() (speculated, committed, conflicts, serial uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.speculated, c.committed, c.conflicts, c.serial
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func set(reads, writes, deltas []string) *RWSet {
+	return &RWSet{Reads: reads, Writes: writes, Deltas: deltas, Speculate: true}
+}
+
+func TestScheduleDisjointSets(t *testing.T) {
+	groups := Schedule([]*RWSet{
+		set([]string{"a"}, []string{"a"}, nil),
+		set([]string{"b"}, []string{"b"}, nil),
+		set([]string{"c"}, []string{"c"}, nil),
+	})
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups %v, want %v", groups, want)
+	}
+}
+
+func TestScheduleWriteConflictMerges(t *testing.T) {
+	groups := Schedule([]*RWSet{
+		set(nil, []string{"k"}, nil),
+		set([]string{"k"}, nil, nil),
+		set(nil, []string{"x"}, nil),
+	})
+	want := [][]int{{0, 1}, {2}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups %v, want %v", groups, want)
+	}
+}
+
+func TestScheduleReadOnlySharingStaysParallel(t *testing.T) {
+	groups := Schedule([]*RWSet{
+		set([]string{"shared"}, []string{"a"}, nil),
+		set([]string{"shared"}, []string{"b"}, nil),
+	})
+	want := [][]int{{0}, {1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("read-read sharing merged: %v, want %v", groups, want)
+	}
+}
+
+func TestScheduleDeltaOnlySharingStaysParallel(t *testing.T) {
+	// Commutative credits to the same account do not conflict…
+	groups := Schedule([]*RWSet{
+		set(nil, []string{"a"}, []string{"bal"}),
+		set(nil, []string{"b"}, []string{"bal"}),
+	})
+	want := [][]int{{0}, {1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("delta-delta sharing merged: %v, want %v", groups, want)
+	}
+	// …but a reader of the credited resource orders against the deltas.
+	groups = Schedule([]*RWSet{
+		set(nil, []string{"a"}, []string{"bal"}),
+		set([]string{"bal"}, []string{"b"}, nil),
+	})
+	want = [][]int{{0, 1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("delta-read sharing not merged: %v, want %v", groups, want)
+	}
+}
+
+func TestScheduleTransitiveMergeAndOrder(t *testing.T) {
+	// 0-2 conflict on "x", 2-1 conflict on "y": all three form one group
+	// with members in batch order.
+	groups := Schedule([]*RWSet{
+		set(nil, []string{"x"}, nil),
+		set(nil, []string{"y"}, nil),
+		set([]string{"x"}, []string{"y"}, nil),
+	})
+	want := [][]int{{0, 1, 2}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups %v, want %v", groups, want)
+	}
+}
+
+func TestScheduleNilSetIsIsolated(t *testing.T) {
+	// A nil set declares nothing, so nothing groups with it.
+	groups := Schedule([]*RWSet{
+		nil,
+		set([]string{"a"}, []string{"a"}, nil),
+	})
+	want := [][]int{{0}, {1}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups %v, want %v", groups, want)
+	}
+}
+
+func TestCommitLogValid(t *testing.T) {
+	l := NewCommitLog()
+	l.Record(0, []string{"k"})
+	l.Record(2, []string{"k", "m"})
+
+	if !l.Valid([]Access{{Res: "k", Writers: []int{0, 2}}}) {
+		t.Fatal("exact observation rejected")
+	}
+	if !l.Valid([]Access{{Res: "unwritten"}}) {
+		t.Fatal("pre-state read of untouched resource rejected")
+	}
+	if l.Valid([]Access{{Res: "k", Writers: []int{0}}}) {
+		t.Fatal("stale observation (missing writer 2) accepted")
+	}
+	if l.Valid([]Access{{Res: "k", Writers: []int{2, 0}}}) {
+		t.Fatal("reordered observation accepted")
+	}
+	if l.Valid([]Access{{Res: "m"}}) {
+		t.Fatal("pre-state read of written resource accepted")
+	}
+}
+
+func TestCommitLogDirtyWriterInvalidates(t *testing.T) {
+	l := NewCommitLog()
+	l.MarkReexecuted(0)
+	l.Record(0, []string{"k"})
+
+	// The writer indices match the observation, but writer 0 re-executed
+	// at commit time, so its speculative value may be stale.
+	if l.Valid([]Access{{Res: "k", Writers: []int{0}}}) {
+		t.Fatal("observation of a re-executed writer accepted")
+	}
+	if !l.Valid([]Access{{Res: "other"}}) {
+		t.Fatal("unrelated read rejected")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 100 {
+				c.AddSpeculated(1)
+				c.AddCommitted()
+			}
+		}()
+	}
+	wg.Wait()
+	spec, committed, conflicts, serial := c.Snapshot()
+	if spec != 800 || committed != 800 || conflicts != 0 || serial != 0 {
+		t.Fatalf("counters %d %d %d %d", spec, committed, conflicts, serial)
+	}
+}

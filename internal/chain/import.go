@@ -119,6 +119,7 @@ func (c *Chain) restoreLocked(snap *stateSnapshot) {
 		} else {
 			st.data = make(map[string][]byte)
 		}
+		st.invalidate()
 	}
 	for a := range c.accounts {
 		if _, ok := snap.accounts[a]; !ok {
@@ -189,15 +190,19 @@ func (c *Chain) ImportBlock(b Block, txs []Transaction) ([]*Receipt, error) {
 	}
 
 	snap := c.snapshotLocked()
+	// Replay through the batch engine (serial when execWorkers is 1) —
+	// identical outcomes to the Submit path by the engine's bit-identity
+	// contract. A failed transaction aborts the import; transactions the
+	// batch executed after it are rolled back with everything else.
+	outcomes := c.submitBatchLocked(txs, c.execWorkers)
 	receipts := make([]*Receipt, len(txs))
-	for i := range txs {
-		r, err := c.submitLocked(txs[i])
-		if err != nil {
+	for i := range outcomes {
+		if err := outcomes[i].Err; err != nil {
 			c.restoreLocked(snap)
 			c.mu.Unlock()
 			return nil, fmt.Errorf("%w: tx %d: %v", ErrImportFailed, i, err)
 		}
-		receipts[i] = r
+		receipts[i] = outcomes[i].Receipt
 	}
 	sealed := Block{
 		Number:    b.Number,

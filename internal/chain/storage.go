@@ -8,10 +8,32 @@ import (
 // Storage is a contract's persistent key-value store. Reads and writes go
 // through a gas-metered view; values are opaque byte strings and an absent
 // or empty value is the "zero" slot of the EVM cost model.
+//
+// A Storage is one of three shapes:
+//
+//   - the root store (held in Chain.storages): owns the data map and the
+//     cached digest,
+//   - a metered view (metered): shares the root's data, charges a gas
+//     meter, journals writes, and invalidates the root's digest cache, or
+//   - an overlay view (ov != nil): used by the parallel executor; reads
+//     and writes are redirected to a speculative overlay (see execview.go)
+//     and never touch the root data until the engine commits them.
 type Storage struct {
 	data map[string][]byte
 	gas  *GasMeter // nil on the root store; set on metered views
 	jrnl *journal  // write journal for transaction rollback (metered views)
+	ov   *storeOverlay // speculative overlay; nil outside parallel execution
+
+	// rootRef points from a metered view back to the root store so writes
+	// through the view can invalidate the digest cache; nil on the root.
+	rootRef *Storage
+
+	// Cached content digest, maintained on the root store only. Every
+	// mutation path (Set, Delete, journal revert, snapshot restore, batch
+	// commit) goes through invalidate(), which keeps the state root
+	// O(touched contracts) per seal instead of O(total slots).
+	dig   [32]byte
+	digOK bool
 }
 
 // journal records pre-images of mutated slots so a reverted transaction can
@@ -46,6 +68,7 @@ func (j *journal) revert() {
 		} else {
 			delete(e.store.data, e.key)
 		}
+		e.store.invalidate()
 	}
 	j.entries = nil
 }
@@ -56,9 +79,23 @@ func NewStorage() *Storage {
 }
 
 // metered returns a view that charges the given meter and journals writes.
-// The view shares the underlying data.
+// The view shares the underlying data (or, on an overlay view, the overlay).
 func (s *Storage) metered(gas *GasMeter, j *journal) *Storage {
-	return &Storage{data: s.data, gas: gas, jrnl: j}
+	return &Storage{data: s.data, gas: gas, jrnl: j, ov: s.ov, rootRef: s.root()}
+}
+
+// root resolves the digest-cache owner of this view.
+func (s *Storage) root() *Storage {
+	if s.rootRef != nil {
+		return s.rootRef
+	}
+	return s
+}
+
+// invalidate drops the root store's cached digest; called on every path
+// that mutates the underlying data.
+func (s *Storage) invalidate() {
+	s.root().digOK = false
 }
 
 // Get reads a slot, charging SLOAD gas on metered views.
@@ -68,7 +105,15 @@ func (s *Storage) Get(key string) ([]byte, error) {
 			return nil, err
 		}
 	}
-	v, ok := s.data[key]
+	var (
+		v  []byte
+		ok bool
+	)
+	if s.ov != nil {
+		v, ok = s.ov.get(key)
+	} else {
+		v, ok = s.data[key]
+	}
 	if !ok {
 		return nil, nil
 	}
@@ -86,7 +131,15 @@ func (s *Storage) Set(key string, value []byte) error {
 		if words == 0 {
 			words = 1
 		}
-		_, existed := s.data[key]
+		// The charge depends on whether the slot exists, so on an overlay
+		// this is an observation the conflict detector must validate: a
+		// racing creator of the same slot changes this transaction's gas.
+		var existed bool
+		if s.ov != nil {
+			existed = s.ov.exists(key)
+		} else {
+			_, existed = s.data[key]
+		}
 		var cost uint64
 		if !existed {
 			cost = GasSStoreSet * words
@@ -97,12 +150,17 @@ func (s *Storage) Set(key string, value []byte) error {
 			return err
 		}
 	}
+	if s.ov != nil {
+		s.ov.set(key, value)
+		return nil
+	}
 	if s.jrnl != nil {
 		s.jrnl.record(s, key)
 	}
 	out := make([]byte, len(value))
 	copy(out, value)
 	s.data[key] = out
+	s.invalidate()
 	return nil
 }
 
@@ -113,10 +171,15 @@ func (s *Storage) Delete(key string) error {
 			return err
 		}
 	}
+	if s.ov != nil {
+		s.ov.del(key)
+		return nil
+	}
 	if s.jrnl != nil {
 		s.jrnl.record(s, key)
 	}
 	delete(s.data, key)
+	s.invalidate()
 	return nil
 }
 
@@ -126,8 +189,21 @@ func (s *Storage) Has(key string) (bool, error) {
 	return len(v) > 0, err
 }
 
-// digest hashes the store contents deterministically.
+// digest hashes the store contents deterministically, serving from the
+// cache when no slot changed since the last call.
 func (s *Storage) digest() [32]byte {
+	r := s.root()
+	if r.digOK {
+		return r.dig
+	}
+	d := r.digestFull()
+	r.dig, r.digOK = d, true
+	return d
+}
+
+// digestFull is the uncached full walk; the digest-cache test pins
+// digest() to it.
+func (s *Storage) digestFull() [32]byte {
 	keys := make([]string, 0, len(s.data))
 	for k := range s.data {
 		keys = append(keys, k)

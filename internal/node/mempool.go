@@ -3,6 +3,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -209,15 +210,30 @@ func (p *mempool) evictForLocked(from chain.Address, nonce uint64) bool {
 	return true
 }
 
-// pop reserves up to max executable transactions: for each sender, the
-// contiguous nonce run starting at the account's current nonce. Reserved
-// transactions are marked inflight; the caller must markDone them after
-// execution. Safe for multiple concurrent producers.
+// sortedSendersLocked returns the pool's sender addresses in byte order, so
+// batch composition and gossip samples are deterministic functions of pool
+// content rather than of Go's randomized map iteration; caller holds p.mu.
+func (p *mempool) sortedSendersLocked() []chain.Address {
+	addrs := make([]chain.Address, 0, len(p.senders))
+	for addr := range p.senders {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i][:]) < string(addrs[j][:])
+	})
+	return addrs
+}
+
+// pop reserves up to max executable transactions: for each sender in address
+// order, the contiguous nonce run starting at the account's current nonce.
+// Reserved transactions are marked inflight; the caller must markDone them
+// after execution. Safe for multiple concurrent producers.
 func (p *mempool) pop(max int) []*poolTx {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var out []*poolTx
-	for addr, q := range p.senders {
+	for _, addr := range p.sortedSendersLocked() {
+		q := p.senders[addr]
 		if len(q.pending) == 0 {
 			continue
 		}
@@ -320,14 +336,16 @@ func (p *mempool) removeIncluded(txs []chain.Transaction, receipts []*chain.Rece
 }
 
 // pendingSample returns up to max pending transactions, the contiguous
-// executable run of each sender first — the set worth re-gossiping to peers
-// after a partition heals. Inflight transactions are excluded (a producer
-// already has them).
+// executable run of each sender first, senders in address order — the set
+// worth re-gossiping to peers after a partition heals, identical for every
+// caller observing the same pool. Inflight transactions are excluded (a
+// producer already has them).
 func (p *mempool) pendingSample(max int) []chain.Transaction {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var out []chain.Transaction
-	for addr, q := range p.senders {
+	for _, addr := range p.sortedSendersLocked() {
+		q := p.senders[addr]
 		if len(out) >= max {
 			break
 		}

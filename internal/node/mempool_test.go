@@ -2,6 +2,7 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -244,5 +245,222 @@ func TestParallelProducersAndSubmitters(t *testing.T) {
 	}
 	if got := p.Len(); got != 0 {
 		t.Fatalf("pool not drained: %d left", got)
+	}
+}
+
+// TestNonceGapRefill pins the refill behavior around nonce gaps: a gapped
+// transaction parks in the pool without executing, pop serves only the
+// contiguous run, and the moment the missing nonce arrives the whole run —
+// parked tail included — becomes executable in one pop.
+func TestNonceGapRefill(t *testing.T) {
+	p, c := testPool(t, Config{MaxNonceGap: 8})
+	alice := fund(c, "alice", 1000)
+
+	// Nonces 0, 1, then a hole at 2, then 3 and 4 parked behind it.
+	for _, nonce := range []uint64{0, 1, 3, 4} {
+		if _, err := p.add(chain.Transaction{From: alice, Nonce: nonce}, false, false); err != nil {
+			t.Fatalf("nonce %d: %v", nonce, err)
+		}
+	}
+	batch := p.pop(16)
+	if len(batch) != 2 || batch[0].tx.Nonce != 0 || batch[1].tx.Nonce != 1 {
+		t.Fatalf("pop across gap returned %d txs, want the [0 1] run", len(batch))
+	}
+	for _, ptx := range batch {
+		if _, err := c.Submit(ptx.tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.markDone(batch)
+
+	// Still gapped: nothing executable, and the pool still holds 3 and 4.
+	if got := p.pop(16); len(got) != 0 {
+		t.Fatalf("pop with gap unhealed returned %d txs, want 0", len(got))
+	}
+	if got := p.Len(); got != 2 {
+		t.Fatalf("pool size %d, want 2 parked", got)
+	}
+
+	// Filling the hole makes the full tail executable at once, in order.
+	if _, err := p.add(chain.Transaction{From: alice, Nonce: 2}, false, false); err != nil {
+		t.Fatalf("refill nonce 2: %v", err)
+	}
+	batch = p.pop(16)
+	if len(batch) != 3 {
+		t.Fatalf("pop after refill returned %d txs, want 3", len(batch))
+	}
+	for i, ptx := range batch {
+		if want := uint64(2 + i); ptx.tx.Nonce != want {
+			t.Fatalf("refilled run position %d has nonce %d, want %d", i, ptx.tx.Nonce, want)
+		}
+		if _, err := c.Submit(ptx.tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.markDone(batch)
+	if got := p.Len(); got != 0 {
+		t.Fatalf("pool not empty after refill drain: %d", got)
+	}
+	if got := c.NonceOf(alice); got != 5 {
+		t.Fatalf("account nonce %d, want 5", got)
+	}
+}
+
+// TestImportedBlockReplacesPooledNonce pins ErrReplaced delivery: when an
+// imported block consumes a nonce with a *different* transaction than the
+// pooled one, the pooled transaction is evicted with ErrReplaced (it can
+// never execute), while a pooled transaction whose exact hash was included
+// gets its receipt instead.
+func TestImportedBlockReplacesPooledNonce(t *testing.T) {
+	producer := chain.New()
+	c := chain.New()
+	p, _ := testPool(t, Config{})
+	p.chain = c
+	alice := chain.AddressFromString("alice")
+	bob := chain.AddressFromString("bob")
+	for _, ch := range []*chain.Chain{producer, c} {
+		ch.Faucet(alice, 1000)
+		ch.Faucet(bob, 1000)
+	}
+
+	// Locally pooled: alice nonce 0 pays bob 7 (will be superseded), alice
+	// nonce 1 (stranded behind it), bob nonce 0 paying alice 5 (identical
+	// to the remotely sealed copy — gets a receipt).
+	supersededPtx, err := p.add(chain.Transaction{From: alice, To: bob, Value: 7, Nonce: 0}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strandedPtx, err := p.add(chain.Transaction{From: alice, To: bob, Value: 3, Nonce: 1}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	includedTx := chain.Transaction{From: bob, To: alice, Value: 5, Nonce: 0}
+	includedPtx, err := p.add(includedTx, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The remote sealer spends alice nonces 0 AND 1 differently.
+	remoteTxs := []chain.Transaction{
+		{From: alice, To: bob, Value: 1, Nonce: 0},
+		{From: alice, To: bob, Value: 1, Nonce: 1},
+		includedTx,
+	}
+	for _, tx := range remoteTxs {
+		if _, err := producer.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block := producer.SealBlock()
+	// Import the normalized (gas-default applied) body so tx hashes match
+	// the header, exactly as a syncing peer would receive it.
+	body, ok := producer.BlockBody(block.Number)
+	if !ok {
+		t.Fatal("producer block body missing")
+	}
+	receipts, err := c.ImportBlock(block, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.removeIncluded(body, receipts, block.Number)
+
+	for _, tc := range []struct {
+		name string
+		done chan TxResult
+	}{{"superseded", supersededPtx.done}, {"stranded", strandedPtx.done}} {
+		select {
+		case res := <-tc.done:
+			if !errors.Is(res.Err, ErrReplaced) {
+				t.Fatalf("%s result %v, want ErrReplaced", tc.name, res.Err)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("%s result not delivered", tc.name)
+		}
+	}
+	select {
+	case res := <-includedPtx.done:
+		if res.Err != nil || res.Receipt == nil {
+			t.Fatalf("included tx result %+v, want receipt", res)
+		}
+		if res.BlockNumber != block.Number {
+			t.Fatalf("included tx block %d, want %d", res.BlockNumber, block.Number)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("included tx result not delivered")
+	}
+	if got := p.Len(); got != 0 {
+		t.Fatalf("pool size %d after reconcile, want 0", got)
+	}
+}
+
+// TestPendingSampleDeterministic pins the gossip-sample ordering contract:
+// with sender iteration sorted by address, two calls observing the same pool
+// return byte-identical samples even while other senders' submitters are
+// racing admission (concurrent adds may grow later samples but never reorder
+// the common prefix of senders already present). Run under -race this also
+// guards the sample path against locking regressions.
+func TestPendingSampleDeterministic(t *testing.T) {
+	p, c := testPool(t, Config{MaxPoolTxs: 4096})
+	const stable = 6
+	stableAddrs := make([]chain.Address, stable)
+	for i := range stableAddrs {
+		stableAddrs[i] = fund(c, fmt.Sprintf("stable-%d", i), 1<<20)
+		for nonce := uint64(0); nonce < 4; nonce++ {
+			if _, err := p.add(chain.Transaction{From: stableAddrs[i], Nonce: nonce}, false, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Racing submitters on disjoint senders.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		addr := fund(c, fmt.Sprintf("racer-%d", i), 1<<20)
+		wg.Add(1)
+		go func(a chain.Address) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := p.add(chain.Transaction{From: a}, true, false); err != nil {
+					return // pool full: stop racing, determinism check continues
+				}
+			}
+		}(addr)
+	}
+
+	sameTx := func(a, b chain.Transaction) bool { return a.Hash() == b.Hash() }
+	for round := 0; round < 50; round++ {
+		s1 := p.pendingSample(stable * 4)
+		s2 := p.pendingSample(stable * 4)
+		if len(s1) != stable*4 || len(s2) != stable*4 {
+			t.Fatalf("round %d: sample sizes %d/%d, want %d", round, len(s1), len(s2), stable*4)
+		}
+		for i := range s1 {
+			if !sameTx(s1[i], s2[i]) {
+				t.Fatalf("round %d: samples diverge at %d: %s nonce %d vs %s nonce %d",
+					round, i, s1[i].From, s1[i].Nonce, s2[i].From, s2[i].Nonce)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The full-pool sample is sorted by sender address with each sender's
+	// run nonce-contiguous.
+	full := p.pendingSample(1 << 20)
+	for i := 1; i < len(full); i++ {
+		prev, cur := full[i-1], full[i]
+		if prev.From == cur.From {
+			if cur.Nonce != prev.Nonce+1 {
+				t.Fatalf("sample position %d: nonce %d after %d", i, cur.Nonce, prev.Nonce)
+			}
+		} else if string(cur.From[:]) < string(prev.From[:]) {
+			t.Fatalf("sample position %d: sender order regressed", i)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/parallel"
 )
 
 // SealVerifier batch-verifies the proofs carried by the transactions of a
@@ -49,6 +50,11 @@ type Config struct {
 	// done (amortised over the block), invalid ones are evicted before
 	// they waste block space.
 	SealVerifier SealVerifier
+	// ExecWorkers sets the chain's parallel execution width for block
+	// batches (chain.SubmitBatch) — both locally produced and imported
+	// blocks. 0 sizes it to the machine (parallel.Workers); 1 forces the
+	// serial reference path.
+	ExecWorkers int
 }
 
 // DefaultConfig returns the tuning used by the daemon.
@@ -78,6 +84,9 @@ func (c *Config) sanitize() {
 	}
 	if c.MaxNonceGap == 0 {
 		c.MaxNonceGap = d.MaxNonceGap
+	}
+	if c.ExecWorkers <= 0 {
+		c.ExecWorkers = parallel.Workers()
 	}
 }
 
@@ -150,6 +159,9 @@ func New(c *chain.Chain, cfg Config) *Node {
 	// The bus republishes every sealed block — whether this node's
 	// producer sealed it or someone called chain.SealBlock directly.
 	c.OnSeal(n.bus.publish)
+	// The chain-level worker count also drives ImportBlock replay, so
+	// follower nodes re-execute remote blocks at the same width.
+	c.SetExecWorkers(cfg.ExecWorkers)
 	return n
 }
 
@@ -280,10 +292,17 @@ func (n *Node) executeBatch(batch []*poolTx) []executedTx {
 		n.proofsEvicted += uint64(evicted)
 		n.mu.Unlock()
 	}
+	// Execute the whole batch through the parallel engine (serial for
+	// small batches or ExecWorkers == 1); outcomes are bit-identical to a
+	// per-transaction Submit loop by the engine's identity contract.
+	txs := make([]chain.Transaction, len(execBatch))
+	for i, ptx := range execBatch {
+		txs[i] = ptx.tx
+	}
+	outcomes := n.chain.SubmitBatch(txs, n.cfg.ExecWorkers)
 	executed := make([]executedTx, 0, len(execBatch))
-	for _, ptx := range execBatch {
-		r, err := n.chain.Submit(ptx.tx)
-		executed = append(executed, executedTx{ptx: ptx, receipt: r, err: err})
+	for i, ptx := range execBatch {
+		executed = append(executed, executedTx{ptx: ptx, receipt: outcomes[i].Receipt, err: outcomes[i].Err})
 	}
 	n.pool.markDone(batch)
 	return executed
