@@ -15,9 +15,10 @@ GO ?= go
 # scheduler/commit-log) and the engine's bit-identity property tests.
 RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
 	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/... \
-	./internal/storage/... ./internal/core/... ./internal/p2p/... ./cmd/zkdet-node/...
+	./internal/storage/... ./internal/core/... ./internal/p2p/... ./cmd/zkdet-node/... \
+	./internal/wal/... ./internal/snapshot/...
 
-.PHONY: check vet build lint test race fuzz-smoke bench bench-verify bench-p2p bench-exec node-demo cluster-demo
+.PHONY: check vet build lint test race fuzz-smoke bench bench-verify bench-p2p bench-exec bench-wal node-demo cluster-demo cluster-demo-durable
 
 check: vet build lint test race
 
@@ -28,8 +29,8 @@ build:
 	$(GO) build ./...
 
 # zkdet-lint is the repo-specific analyzer suite (cryptocompare,
-# secretscope, gaspurity, lockguard, panicfree), stdlib-only, defined in
-# cmd/zkdet-lint. Non-zero exit on any finding; suppressions require a
+# errcompare, secretscope, gaspurity, lockguard, panicfree), stdlib-only,
+# defined in cmd/zkdet-lint. Non-zero exit on any finding; suppressions require a
 # written justification (see DESIGN.md §9).
 lint:
 	$(GO) run ./cmd/zkdet-lint ./...
@@ -51,6 +52,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzFromBytesRoundTrip$$' -fuzztime=10s ./internal/fr/
 	$(GO) test -run='^$$' -fuzz='^FuzzSetBytesCanonical$$' -fuzztime=10s ./internal/fr/
 	$(GO) test -run='^$$' -fuzz='^FuzzTranscriptChallenge$$' -fuzztime=10s ./internal/transcript/
+	$(GO) test -run='^$$' -fuzz='^FuzzTornReplay$$' -fuzztime=10s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s ./internal/snapshot/
 
 # Package-level prover-stack benchmarks (Domain.FFT, G1MSM, kzg.Commit,
 # plonk.Prove at 2^10..2^16); see EXPERIMENTS.md for recorded trajectories.
@@ -80,6 +83,15 @@ bench-p2p:
 bench-exec:
 	$(GO) test -run='^$$' -bench='BenchmarkExecThroughput$$' -benchtime=1x ./internal/bench/
 
+# Durability benchmarks: raw WAL append throughput by sync policy, durable
+# vs in-memory sealed tx/s (the ≤2x acceptance criterion at the default
+# group commit), and crash-recovery time vs chain length; see EXPERIMENTS.md
+# §Durability layer for recorded numbers. `go run ./cmd/zkdet-bench -wal`
+# prints the same experiments as tables.
+bench-wal:
+	$(GO) test -run='^$$' -bench='BenchmarkWALAppend$$|BenchmarkDurableExec$$|BenchmarkRecovery$$' \
+		-benchtime=1x ./internal/bench/
+
 # Boot the node daemon in-process and drive 100 concurrent clients through
 # full exchange lifecycles over HTTP JSON-RPC; prints tx/s and p50/p99.
 node-demo:
@@ -90,3 +102,10 @@ node-demo:
 # and a cluster-wide AuditLineage check on every node.
 cluster-demo:
 	$(GO) run ./cmd/zkdet-cluster
+
+# The same cluster with every member persisting to a data directory, plus a
+# SIGKILL-and-restart phase: one member is killed mid-run with no shutdown
+# path, rebuilt from its snapshot + WAL tail alone, and must rejoin from
+# checkpoint height and serve identical AuditLineage reports.
+cluster-demo-durable:
+	$(GO) run ./cmd/zkdet-cluster -data-dir $$(mktemp -d)

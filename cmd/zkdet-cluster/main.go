@@ -6,17 +6,27 @@
 //
 //  1. mint and transform data assets through one node — transactions
 //     gossip to the rotation leader, blocks replicate back by sync;
+//
 //  2. degrade every link (latency, jitter, drops) and keep going;
+//
 //  3. partition the cluster 3|4 while a mint is in flight — block
 //     production stalls (rotation trades liveness for fork-freedom) and
 //     the mint completes only after the heal;
+//
 //  4. sell an asset through the on-chain escrow, whose settle transaction
 //     carries a π_k that every hop batch-verifies before re-gossip;
-//  5. audit every minted token's lineage on every node — same head, same
+//
+//  5. with -data-dir, SIGKILL one member mid-run — its process state is
+//     abandoned (no shutdown path), the node is rebuilt from its data
+//     directory alone (snapshot + WAL tail), and it rejoins the cluster
+//     from checkpoint height via headers-first sync;
+//
+//  6. audit every minted token's lineage on every node — same head, same
 //     state root, same AuditLineage report, with ciphertexts resolved
 //     cross-node through the transport-backed blob store.
 //
-//	zkdet-cluster [-nodes 7] [-seed 7] [-drop 0.1] [-latency 500µs]
+//     zkdet-cluster [-nodes 7] [-seed 7] [-drop 0.1] [-latency 500µs]
+//     [-data-dir /var/lib/zkdet] [-role archive] [-checkpoint-every 8]
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/zkdet/zkdet/internal/chain"
@@ -31,32 +42,52 @@ import (
 	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/node"
 	"github.com/zkdet/zkdet/internal/p2p"
+	"github.com/zkdet/zkdet/internal/snapshot"
 	"github.com/zkdet/zkdet/internal/storage"
 )
 
+type clusterConfig struct {
+	size            int
+	seed            int64
+	drop            float64
+	latency         time.Duration
+	timeout         time.Duration
+	dataDir         string // "" = in-memory cluster, no crash phase
+	role            string
+	checkpointEvery uint64
+}
+
 func main() {
-	nodes := flag.Int("nodes", 7, "cluster size")
-	seed := flag.Int64("seed", 7, "transport randomness seed")
-	drop := flag.Float64("drop", 0.10, "per-message drop rate after degradation")
-	latency := flag.Duration("latency", 500*time.Microsecond, "base link latency after degradation")
-	timeout := flag.Duration("timeout", 5*time.Minute, "overall demo deadline")
+	var cfg clusterConfig
+	flag.IntVar(&cfg.size, "nodes", 7, "cluster size")
+	flag.Int64Var(&cfg.seed, "seed", 7, "transport randomness seed")
+	flag.Float64Var(&cfg.drop, "drop", 0.10, "per-message drop rate after degradation")
+	flag.DurationVar(&cfg.latency, "latency", 500*time.Microsecond, "base link latency after degradation")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Minute, "overall demo deadline")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist each member under <dir>/node-<i> and run the crash-recovery phase")
+	flag.StringVar(&cfg.role, "role", "archive", "durable node role: archive|full")
+	flag.Uint64Var(&cfg.checkpointEvery, "checkpoint-every", 8, "blocks between snapshot checkpoints (durable mode)")
 	flag.Parse()
-	if err := run(*nodes, *seed, *drop, *latency, *timeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "zkdet-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(size int, seed int64, drop float64, latency, timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+func run(cfg clusterConfig) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
 
 	alice := chain.AddressFromString("alice")
 	bob := chain.AddressFromString("bob")
 
-	fmt.Printf("== zkdet-cluster: %d nodes, seed %d ==\n", size, seed)
+	fmt.Printf("== zkdet-cluster: %d nodes, seed %d ==\n", cfg.size, cfg.seed)
 	fmt.Println("-- building shared proving system and per-node deployments")
 	sys, err := core.NewTestSystem(1 << 13)
+	if err != nil {
+		return err
+	}
+	role, err := snapshot.ParseRole(cfg.role)
 	if err != nil {
 		return err
 	}
@@ -64,33 +95,85 @@ func run(size int, seed int64, drop float64, latency, timeout time.Duration) err
 	// Every member deploys the identical contract suite (same verifying
 	// key, same order) onto its own chain, so all replicas share a genesis
 	// state root and replayed blocks hash identically.
+	size := cfg.size
 	mkts := make([]*core.Marketplace, size)
+	durables := make([]*snapshot.DurableStore, size)
+	defer func() {
+		for _, d := range durables {
+			if d != nil {
+				d.Close()
+			}
+		}
+	}()
+
+	// buildMember assembles member i's full deployment. In durable mode the
+	// same function serves the initial build AND the post-crash restart:
+	// open the engine on <data-dir>/node-<i>, recover whatever the
+	// directory holds, then attach the durability hook.
+	buildMember := func(i int) (p2p.NodeSetup, *snapshot.RecoveryReport, error) {
+		var (
+			bs  storage.LocalStore = storage.NewStore()
+			rep *snapshot.RecoveryReport
+			d   *snapshot.DurableStore
+		)
+		if cfg.dataDir != "" {
+			opts := snapshot.Options{
+				Dir:             filepath.Join(cfg.dataDir, fmt.Sprintf("node-%d", i)),
+				Role:            role,
+				CheckpointEvery: cfg.checkpointEvery,
+			}
+			eng, err := snapshot.Open(opts)
+			if err != nil {
+				return p2p.NodeSetup{}, nil, err
+			}
+			d = eng
+			bs = d.Blobs(storage.NewStore())
+		}
+		c := chain.New()
+		c.Faucet(alice, 1_000_000)
+		c.Faucet(bob, 1_000_000)
+		m, _, err := core.NewMarketplaceWith(sys, c, bs)
+		if err != nil {
+			return p2p.NodeSetup{}, nil, err
+		}
+		m.AttachIndexer() // before Recover: the indexer re-sees restored blocks
+		if d != nil {
+			if rep, err = d.Recover(c); err != nil {
+				return p2p.NodeSetup{}, nil, err
+			}
+			if err := d.Attach(c); err != nil {
+				return p2p.NodeSetup{}, nil, err
+			}
+		}
+		if old := durables[i]; old != nil {
+			old.Close()
+		}
+		durables[i] = d
+		mkts[i] = m
+		return p2p.NodeSetup{
+			Inner:     node.New(c, node.Config{}),
+			Validator: m.ProofChecker(), // batch proof screen at every gossip hop
+			Store:     bs,
+		}, rep, nil
+	}
+	tune := func(i int, nc *p2p.Config) {
+		nc.SealInterval = 5 * time.Millisecond
+		nc.StatusInterval = 25 * time.Millisecond
+		nc.RebroadcastInterval = 50 * time.Millisecond
+	}
+
 	cl, err := p2p.NewCluster(p2p.ClusterSpec{
 		Size: size,
-		Seed: seed,
+		Seed: cfg.seed,
 		Link: p2p.LinkProfile{Latency: 100 * time.Microsecond}, // pristine at first
 		Build: func(i int, id p2p.NodeID) (p2p.NodeSetup, error) {
-			c := chain.New()
-			c.Faucet(alice, 1_000_000)
-			c.Faucet(bob, 1_000_000)
-			st := storage.NewStore()
-			m, _, err := core.NewMarketplaceWith(sys, c, st)
-			if err != nil {
-				return p2p.NodeSetup{}, err
+			setup, rep, err := buildMember(i)
+			if err == nil && rep != nil && rep.Head > 0 {
+				fmt.Printf("   node %d: recovered height %d from %s\n", i, rep.Head, cfg.dataDir)
 			}
-			m.AttachIndexer()
-			mkts[i] = m
-			return p2p.NodeSetup{
-				Inner:     node.New(c, node.Config{}),
-				Validator: m.ProofChecker(), // batch proof screen at every gossip hop
-				Store:     st,
-			}, nil
+			return setup, err
 		},
-		Tune: func(i int, cfg *p2p.Config) {
-			cfg.SealInterval = 5 * time.Millisecond
-			cfg.StatusInterval = 25 * time.Millisecond
-			cfg.RebroadcastInterval = 50 * time.Millisecond
-		},
+		Tune: tune,
 	})
 	if err != nil {
 		return err
@@ -139,11 +222,11 @@ func run(size int, seed int64, drop float64, latency, timeout time.Duration) err
 	fmt.Printf("   minted tokens #%d and #%d\n", a1.TokenID, a2.TokenID)
 
 	fmt.Printf("-- phase 2: degrade every link (latency %v, jitter, %.0f%% drop) and transform\n",
-		latency, drop*100)
+		cfg.latency, cfg.drop*100)
 	cl.Net.Plan().SetDefault(p2p.LinkProfile{
-		Latency:  latency,
-		Jitter:   latency,
-		DropRate: drop,
+		Latency:  cfg.latency,
+		Jitter:   cfg.latency,
+		DropRate: cfg.drop,
 	})
 	agg, err := driver.Aggregate(alice, "alice", []*core.Asset{a1, a2})
 	if err != nil {
@@ -200,7 +283,13 @@ func run(size int, seed int64, drop float64, latency, timeout time.Duration) err
 	}
 	fmt.Printf("   bob bought token #%d and decrypted %d elements\n", a3.TokenID, len(bought))
 
-	fmt.Println("-- phase 6: cluster-wide convergence and lineage audit")
+	if cfg.dataDir != "" {
+		if err := crashPhase(ctx, cl, cfg, buildMember, tune, durables, mkts); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("-- final phase: cluster-wide convergence and lineage audit")
 	head, err := cl.WaitConverged(ctx, 0)
 	if err != nil {
 		return err
@@ -238,6 +327,66 @@ func run(size int, seed int64, drop float64, latency, timeout time.Duration) err
 	fmt.Printf("-- transport: %d sent, %d delivered, %d dropped (%.1f%%), %.1f MiB offered\n",
 		sent, delivered, dropped, 100*float64(dropped)/float64(sent), float64(bytes)/(1<<20))
 	fmt.Println("== ok ==")
+	return nil
+}
+
+// crashPhase SIGKILLs the highest-index member (never the driver): the node
+// drops off the network and its durable engine is abandoned mid-state — no
+// checkpoint, no WAL flush beyond what was already acknowledged. The member
+// is then rebuilt from its data directory alone and rejoins the cluster
+// from checkpoint height via headers-first sync.
+func crashPhase(
+	ctx context.Context,
+	cl *p2p.Cluster,
+	cfg clusterConfig,
+	buildMember func(int) (p2p.NodeSetup, *snapshot.RecoveryReport, error),
+	tune func(int, *p2p.Config),
+	durables []*snapshot.DurableStore,
+	mkts []*core.Marketplace,
+) error {
+	victim := cfg.size - 1
+	victimID := cl.Nodes[victim].ID()
+	fmt.Printf("-- phase 6: SIGKILL node %d (no shutdown path) and restart from %s\n",
+		victim, filepath.Join(cfg.dataDir, fmt.Sprintf("node-%d", victim)))
+
+	preCrash := cl.Nodes[0].Head().Number
+	restart := cl.Net.Plan().KillAndRestart(victimID)
+	cl.Nodes[victim].Stop()
+	durables[victim].Crash()
+	fmt.Printf("   node %d killed at cluster height %d\n", victim, preCrash)
+
+	start := time.Now()
+	setup, rep, err := buildMember(victim)
+	if err != nil {
+		return fmt.Errorf("rebuild node %d from data dir: %w", victim, err)
+	}
+	if rep == nil || rep.Head == 0 {
+		return fmt.Errorf("node %d recovered nothing from its data dir", victim)
+	}
+	fmt.Printf("   recovered in %v: snapshot height %d, %d blocks + %d blobs replayed from WAL, head %d\n",
+		time.Since(start).Round(time.Millisecond),
+		rep.SnapshotHeight, rep.BlocksReplayed, rep.BlobsReplayed, rep.Head)
+
+	nc := p2p.Config{ID: victimID, Members: p2p.MemberIDs(cfg.size), Validator: setup.Validator, Store: setup.Store}
+	tune(victim, &nc)
+	reborn, err := p2p.NewNode(nc, setup.Inner, cl.Net)
+	if err != nil {
+		return err
+	}
+	cl.Nodes[victim] = reborn
+	mkts[victim].Store = reborn.NetStore()
+	restart()
+	if err := reborn.Start(); err != nil {
+		return err
+	}
+	if got := reborn.Head().Number; got < rep.Head {
+		return fmt.Errorf("reborn node started at height %d, below its recovered %d", got, rep.Head)
+	}
+	fmt.Printf("   node %d rejoined from height %d (not genesis); syncing the missed suffix\n",
+		victim, reborn.Head().Number)
+	if _, err := cl.WaitConverged(ctx, preCrash); err != nil {
+		return fmt.Errorf("cluster did not reconverge after restart: %w", err)
+	}
 	return nil
 }
 

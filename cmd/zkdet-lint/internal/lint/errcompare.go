@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCompare flags raw == and != comparisons between error values. Identity
+// comparison against a sentinel breaks the moment anyone wraps the error
+// with fmt.Errorf("...: %w", err) — which the durable-storage and recovery
+// paths do deliberately, layering context onto wal.ErrCorrupt and the
+// snapshot.Err* sentinels. errors.Is walks the wrap chain and is the
+// supported comparison; nil checks (err == nil / err != nil) remain the
+// idiomatic control-flow test and are exempt.
+var ErrCompare = &Analyzer{
+	Name: "errcompare",
+	Doc:  "flags ==/!= between error values; use errors.Is so wrapped sentinels still match",
+	Run:  runErrCompare,
+}
+
+// isErrorValue reports whether t is a non-nil type implementing the builtin
+// error interface. Concrete error implementations count too: comparing a
+// *MyErr against an error-typed variable has the same wrap-blindness.
+func isErrorValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// sentinelName names the compared sentinel when the operand is a plain
+// identifier or a pkg.Ident selector resolving to a package-level variable
+// (the Err* convention); it returns "" for anything else.
+func sentinelName(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Name()
+}
+
+func runErrCompare(pass *Pass) {
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil" && pass.Pkg.Info.ObjectOf(id) == types.Universe.Lookup("nil")
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if isNil(cmp.X) || isNil(cmp.Y) {
+				return true // err == nil is the idiomatic presence test
+			}
+			if !isErrorValue(pass.TypeOf(cmp.X)) || !isErrorValue(pass.TypeOf(cmp.Y)) {
+				return true
+			}
+			target := sentinelName(pass.Pkg.Info, cmp.Y)
+			if target == "" {
+				target = sentinelName(pass.Pkg.Info, cmp.X)
+			}
+			if target != "" {
+				pass.Reportf(cmp.OpPos, "raw %s against sentinel %s; use errors.Is so wrapped errors still match",
+					cmp.Op, target)
+			} else {
+				pass.Reportf(cmp.OpPos, "raw %s between error values; use errors.Is so wrapped errors still match",
+					cmp.Op)
+			}
+			return true
+		})
+	}
+}

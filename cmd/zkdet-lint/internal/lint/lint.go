@@ -36,6 +36,7 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		CryptoCompare,
+		ErrCompare,
 		SecretScope,
 		GasPurity,
 		LockGuard,

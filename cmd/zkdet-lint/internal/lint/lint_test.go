@@ -118,6 +118,7 @@ func runFixture(t *testing.T, analyzer *Analyzer, fixture string) {
 }
 
 func TestCryptoCompareFixture(t *testing.T) { runFixture(t, CryptoCompare, "cryptocompare") }
+func TestErrCompareFixture(t *testing.T)    { runFixture(t, ErrCompare, "errcompare") }
 func TestSecretScopeFixture(t *testing.T)   { runFixture(t, SecretScope, "secretscope") }
 func TestGasPurityFixture(t *testing.T)     { runFixture(t, GasPurity, "gaspurity") }
 func TestLockGuardFixture(t *testing.T)     { runFixture(t, LockGuard, "lockguard") }

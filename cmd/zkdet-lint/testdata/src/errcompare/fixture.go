@@ -1,0 +1,73 @@
+// Package fixture seeds positive and negative cases for the errcompare
+// analyzer. It is excluded from the build (testdata) but must type-check.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrNotFound = errors.New("not found")
+
+type opError struct{ op string }
+
+func (e *opError) Error() string { return e.op }
+
+func rawSentinelEq(err error) bool {
+	return err == ErrNotFound // want "raw == against sentinel ErrNotFound"
+}
+
+func rawSentinelNeq(err error) bool {
+	if err != ErrNotFound { // want "raw != against sentinel ErrNotFound"
+		return true
+	}
+	return false
+}
+
+func rawStdlibSentinel(err error) bool {
+	return err == io.EOF // want "raw == against sentinel EOF"
+}
+
+func rawSentinelReversed(err error) bool {
+	return ErrNotFound == err // want "raw == against sentinel ErrNotFound"
+}
+
+func rawErrPair(a, b error) bool {
+	return a == b // want "raw == between error values"
+}
+
+func rawConcreteVsInterface(err error, oe *opError) bool {
+	return err == oe // want "raw == between error values"
+}
+
+// Negative cases: the canonical paths and exempt shapes.
+
+func canonicalIs(err error) bool {
+	return errors.Is(err, ErrNotFound) // ok: walks the wrap chain
+}
+
+func canonicalAs(err error) bool {
+	var oe *opError
+	return errors.As(err, &oe) // ok
+}
+
+func nilPresence(err error) bool {
+	return err != nil // ok: idiomatic presence test
+}
+
+func nilPresenceReversed(err error) bool {
+	return nil == err // ok
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("loading: %w", err) // ok: no comparison at all
+}
+
+func stringCompare(a, b string) bool {
+	return a == b // ok: not error values
+}
+
+func concretePtrIdentity(a, b *opError) bool {
+	return a == b // want "raw == between error values"
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// bootDurable starts an in-process durable daemon WITHOUT registering a
+// clean shutdown — the caller decides whether it crashes or closes.
+func bootDurable(t *testing.T, dir string) (*server, *httptest.Server, *rpcClient) {
+	t.Helper()
+	cfg := testCfg()
+	cfg.dataDir = dir
+	cfg.checkpointEvery = 3
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	return srv, ts, newRPCClient(ts.URL)
+}
+
+// TestDurableCrashRestart is the daemon half of the crash-recovery
+// acceptance criterion: a -data-dir node is loaded over RPC, killed without
+// any shutdown path (WAL buffers abandoned, checkpoints not awaited), and a
+// fresh process on the same directory serves the identical receipts and
+// blobs for every pre-crash transaction, then keeps sealing.
+func TestDurableCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, c := bootDurable(t, dir)
+
+	if err := c.call("zkdet_faucet", map[string]any{"address": "alice", "amount": 100_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Enough transfers to cross several checkpoints (checkpointEvery=3).
+	type acked struct {
+		hash  string
+		block uint64
+	}
+	var txs []acked
+	for i := 0; i < 8; i++ {
+		res, err := c.sendWait(txParams{From: "alice", To: "bob", Value: uint64(100 + i)})
+		if err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+		txs = append(txs, acked{hash: res.TxHash, block: res.BlockNumber})
+	}
+	var put struct {
+		URI string `json:"uri"`
+	}
+	if err := c.call("zkdet_storagePut", map[string]any{"owner": "alice", "data": "0xdeadbeef"}, &put); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL: drop the listener and abandon the durable engine mid-state.
+	// The producer is stopped only afterwards, so its final seal finds a
+	// dead log — exactly what a killed process leaves behind.
+	ts.Close()
+	srv.durable.Crash()
+	srv.node.Stop()
+
+	// A fresh process on the same data dir recovers and serves everything
+	// that was acknowledged before the crash.
+	srv2, ts2, c2 := bootDurable(t, dir)
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.close()
+	})
+	rep := srv2.recovery
+	if rep == nil || rep.Head == 0 {
+		t.Fatalf("restart recovered nothing: %+v", rep)
+	}
+	if rep.Head < txs[len(txs)-1].block {
+		t.Fatalf("recovered head %d below last acked block %d", rep.Head, txs[len(txs)-1].block)
+	}
+	if rep.SnapshotHeight == 0 {
+		t.Fatalf("recovery ignored the checkpoints: %+v", rep)
+	}
+	for i, tx := range txs {
+		var rec txResult
+		if err := c2.call("zkdet_receipt", map[string]any{"txHash": tx.hash}, &rec); err != nil {
+			t.Fatalf("receipt %d lost across restart: %v", i, err)
+		}
+		if rec.BlockNumber != tx.block {
+			t.Fatalf("receipt %d moved: block %d, was %d", i, rec.BlockNumber, tx.block)
+		}
+	}
+	var got struct {
+		Data string `json:"data"`
+	}
+	if err := c2.call("zkdet_storageGet", map[string]any{"uri": put.URI}, &got); err != nil {
+		t.Fatalf("blob lost across restart: %v", err)
+	}
+	if got.Data != "0xdeadbeef" {
+		t.Fatalf("blob changed across restart: %s", got.Data)
+	}
+
+	// The reborn daemon keeps working on top of the recovered state.
+	res, err := c2.sendWait(txParams{From: "alice", To: "bob", Value: 999})
+	if err != nil {
+		t.Fatalf("transfer after restart: %v", err)
+	}
+	if res.BlockNumber <= rep.Head {
+		t.Fatalf("post-restart tx landed at %d, not above recovered head %d", res.BlockNumber, rep.Head)
+	}
+}
+
+// TestDurableCrashBeforeFirstCheckpoint pins the faucet-durability bug: a
+// crash with NO snapshot on disk leaves only the WAL, and the replayed
+// transfers need their funding faucet credit — which lives outside any
+// block — to come back from the log too.
+func TestDurableCrashBeforeFirstCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg()
+	cfg.dataDir = dir
+	cfg.checkpointEvery = 1 << 20 // never checkpoint
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	c := newRPCClient(ts.URL)
+	if err := c.call("zkdet_faucet", map[string]any{"address": "carol", "amount": 5_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.sendWait(txParams{From: "carol", To: "dave", Value: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	srv.durable.Crash()
+	srv.node.Stop()
+
+	srv2, ts2, c2 := bootDurable(t, dir)
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.close()
+	})
+	rep := srv2.recovery
+	if rep.SnapshotPath != "" {
+		t.Fatalf("no checkpoint should exist, recovery used %s", rep.SnapshotPath)
+	}
+	if rep.FaucetsReplayed != 1 {
+		t.Fatalf("replayed %d faucet credits, want 1", rep.FaucetsReplayed)
+	}
+	var rec txResult
+	if err := c2.call("zkdet_receipt", map[string]any{"txHash": res.TxHash}, &rec); err != nil {
+		t.Fatalf("pre-crash receipt lost: %v", err)
+	}
+	if got := srv2.mkt.Chain.BalanceOf(mustAddr(t, "dave")); got != 123 {
+		t.Fatalf("dave's balance after recovery = %d, want 123", got)
+	}
+}
+
+func mustAddr(t *testing.T, label string) [20]byte {
+	t.Helper()
+	a, err := parseAddr(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDurableCleanRestartUsesShutdownCheckpoint verifies the graceful path:
+// close() checkpoints, so the next start restores from a snapshot at the
+// final height and replays nothing.
+func TestDurableCleanRestartUsesShutdownCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, c := bootDurable(t, dir)
+	if err := c.call("zkdet_faucet", map[string]any{"address": "alice", "amount": 10_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.sendWait(txParams{From: "alice", To: "bob", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	srv.close() // graceful: checkpoint + WAL close
+
+	srv2, ts2, _ := bootDurable(t, dir)
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.close()
+	})
+	rep := srv2.recovery
+	if rep.SnapshotHeight < res.BlockNumber {
+		t.Fatalf("shutdown checkpoint missing: snapshot at %d, sealed through %d", rep.SnapshotHeight, res.BlockNumber)
+	}
+	if rep.BlocksReplayed != 0 {
+		t.Fatalf("clean restart replayed %d blocks, want 0", rep.BlocksReplayed)
+	}
+}

@@ -378,7 +378,7 @@ func (g *gateway) exchange(raw json.RawMessage) (any, *rpcError) {
 func (g *gateway) stats() any {
 	ns := g.srv.node.Stats()
 	is := g.srv.ix.Stats()
-	return map[string]any{
+	out := map[string]any{
 		"height": g.srv.mkt.Chain.Height(),
 		"node": map[string]any{
 			"poolSize": ns.PoolSize, "admitted": ns.Admitted,
@@ -393,6 +393,17 @@ func (g *gateway) stats() any {
 			"tokens": is.Tokens, "keys": is.Keys,
 		},
 	}
+	if d := g.srv.durable; d != nil {
+		ds := d.Stats()
+		out["durable"] = map[string]any{
+			"blocksLogged": ds.BlocksLogged, "blobsLogged": ds.BlobsLogged,
+			"checkpoints": ds.Checkpoints, "lastCheckpoint": d.LastCheckpoint(),
+			"prunedTxs":  ds.PrunedTxs,
+			"walAppends": ds.WAL.Appends, "walSyncs": ds.WAL.Syncs,
+			"walSegments": ds.WAL.Segments, "walPrunedSegments": ds.WAL.PrunedSegments,
+		}
+	}
+	return out
 }
 
 func (g *gateway) faucet(raw json.RawMessage) (any, *rpcError) {
@@ -407,7 +418,16 @@ func (g *gateway) faucet(raw json.RawMessage) (any, *rpcError) {
 	if err != nil {
 		return nil, badParams(err)
 	}
-	g.srv.mkt.Chain.Faucet(a, p.Amount)
+	// In durable mode the credit must hit the WAL before it is acknowledged
+	// — an off-block state mutation a crash would otherwise silently lose,
+	// leaving the WAL tail unreplayable (transfers without their funding).
+	if d := g.srv.durable; d != nil {
+		if err := d.Faucet(a, p.Amount); err != nil {
+			return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+		}
+	} else {
+		g.srv.mkt.Chain.Faucet(a, p.Amount)
+	}
 	return map[string]any{"address": a.String(), "balance": g.srv.mkt.Chain.BalanceOf(a)}, nil
 }
 

@@ -39,8 +39,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  zkdet-node serve [-addr :8545] [-block-interval 25ms] [-max-block-txs 256] [-exec-workers 0]
-  zkdet-node load  [-clients 100] [-addr 127.0.0.1:0] [-workload exchange|transfer] [-txs-per-client 5]`)
+  zkdet-node serve [-addr :8545] [-block-interval 25ms] [-max-block-txs 256] [-exec-workers 0] [-data-dir DIR] [-role archive|full] [-checkpoint-every 64]
+  zkdet-node load  [-clients 100] [-addr 127.0.0.1:0] [-workload exchange|transfer] [-txs-per-client 5] [-data-dir DIR]`)
 }
 
 func nodeFlags(fs *flag.FlagSet, cfg *serverConfig) {
@@ -49,6 +49,9 @@ func nodeFlags(fs *flag.FlagSet, cfg *serverConfig) {
 	fs.IntVar(&cfg.node.MaxPoolTxs, "max-pool-txs", cfg.node.MaxPoolTxs, "mempool capacity")
 	fs.IntVar(&cfg.storageNodes, "storage-nodes", cfg.storageNodes, "simulated storage network size")
 	fs.IntVar(&cfg.node.ExecWorkers, "exec-workers", cfg.node.ExecWorkers, "parallel execution width for block batches (0 = machine size, 1 = serial)")
+	fs.StringVar(&cfg.dataDir, "data-dir", cfg.dataDir, "durable mode: persist WAL + snapshots here and recover on restart (empty = in-memory)")
+	fs.StringVar(&cfg.role, "role", cfg.role, "durable pruning role: archive (keep all history) or full (drop bodies below checkpoints)")
+	fs.Uint64Var(&cfg.checkpointEvery, "checkpoint-every", cfg.checkpointEvery, "durable mode: snapshot cadence in blocks (0 = default 64)")
 }
 
 func cmdServe(args []string) error {
@@ -66,6 +69,17 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer srv.close()
+	if rep := srv.recovery; rep != nil {
+		fmt.Printf("recovered %s: height %d (snapshot %d + %d WAL blocks, %d blobs",
+			cfg.dataDir, rep.Head, rep.SnapshotHeight, rep.BlocksReplayed, rep.BlobsReplayed)
+		if rep.TornBytes > 0 {
+			fmt.Printf(", %d torn bytes repaired", rep.TornBytes)
+		}
+		fmt.Println(")")
+		for _, s := range rep.SkippedSnapshots {
+			fmt.Println("  skipped corrupt snapshot:", s)
+		}
+	}
 	bound, err := srv.listen(*addr)
 	if err != nil {
 		return err

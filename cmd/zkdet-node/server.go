@@ -5,9 +5,12 @@ import (
 	"net"
 	"net/http"
 
+	"github.com/zkdet/zkdet/internal/chain"
 	"github.com/zkdet/zkdet/internal/core"
 	"github.com/zkdet/zkdet/internal/indexer"
 	"github.com/zkdet/zkdet/internal/node"
+	"github.com/zkdet/zkdet/internal/snapshot"
+	"github.com/zkdet/zkdet/internal/storage"
 )
 
 // serverConfig tunes one daemon instance.
@@ -15,6 +18,12 @@ type serverConfig struct {
 	storageNodes int
 	srsSize      int
 	node         node.Config
+	// dataDir, when set, makes the node durable: blocks, receipts, and blob
+	// puts are write-ahead logged and periodically checkpointed there, and
+	// a restart recovers from the directory instead of starting fresh.
+	dataDir         string
+	role            string // "archive" or "full" (durable mode only)
+	checkpointEvery uint64 // snapshot cadence in blocks (durable mode only)
 }
 
 func defaultServerConfig() serverConfig {
@@ -23,38 +32,76 @@ func defaultServerConfig() serverConfig {
 		// Large enough for the π_k circuit the escrow verifier checks.
 		srsSize: 1 << 12,
 		node:    node.DefaultConfig(),
+		role:    "archive",
 	}
 }
 
 // server is a running ZKDET node: the deployed marketplace, the block
 // producer, the event indexer, and the HTTP JSON-RPC gateway over them.
+// With a data dir configured it also carries the durable state engine and
+// the report of the recovery that ran at boot.
 type server struct {
-	mkt  *core.Marketplace
-	node *node.Node
-	ix   *indexer.Indexer
-	http *http.Server
-	lis  net.Listener
+	mkt      *core.Marketplace
+	node     *node.Node
+	ix       *indexer.Indexer
+	http     *http.Server
+	lis      net.Listener
+	durable  *snapshot.DurableStore   // nil when running in-memory
+	recovery *snapshot.RecoveryReport // nil when running in-memory
 }
 
 // newServer deploys a fresh chain + contract suite and starts the block
 // producer. It does not listen yet; call listen or serve the handler
 // directly (tests use httptest).
+//
+// In-memory mode (no dataDir) uses the simulated storage network. Durable
+// mode opens the state engine at dataDir, recovers whatever a previous
+// process persisted — latest verified snapshot plus WAL tail — and only
+// then starts sealing, so a SIGKILL'd daemon restarts where it left off.
 func newServer(cfg serverConfig) (*server, error) {
 	sys, err := core.NewTestSystem(cfg.srsSize)
 	if err != nil {
 		return nil, fmt.Errorf("proof system setup: %w", err)
 	}
-	mkt, _, err := core.NewMarketplace(sys, cfg.storageNodes)
-	if err != nil {
-		return nil, fmt.Errorf("deploying marketplace: %w", err)
+	srv := &server{}
+	var mkt *core.Marketplace
+	if cfg.dataDir == "" {
+		if mkt, _, err = core.NewMarketplace(sys, cfg.storageNodes); err != nil {
+			return nil, fmt.Errorf("deploying marketplace: %w", err)
+		}
+		srv.ix = mkt.AttachIndexer()
+	} else {
+		role, err := snapshot.ParseRole(cfg.role)
+		if err != nil {
+			return nil, err
+		}
+		d, err := snapshot.Open(snapshot.Options{
+			Dir: cfg.dataDir, Role: role, CheckpointEvery: cfg.checkpointEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("opening data dir: %w", err)
+		}
+		bs := d.Blobs(storage.NewStore())
+		if mkt, _, err = core.NewMarketplaceWith(sys, chain.New(), bs); err != nil {
+			return nil, fmt.Errorf("deploying marketplace: %w", err)
+		}
+		srv.ix = mkt.AttachIndexer() // before Recover: the indexer re-sees restored blocks
+		rep, err := d.Recover(mkt.Chain)
+		if err != nil {
+			return nil, fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
+		}
+		if err := d.Attach(mkt.Chain); err != nil {
+			return nil, err
+		}
+		srv.durable, srv.recovery = d, rep
 	}
-	ix := mkt.AttachIndexer()
 	// Fold every block's proof-carrying transactions into one pairing
 	// check at seal time.
 	cfg.node.SealVerifier = mkt.ProofChecker()
 	n := node.New(mkt.Chain, cfg.node)
 	n.Start()
-	return &server{mkt: mkt, node: n, ix: ix}, nil
+	srv.mkt, srv.node = mkt, n
+	return srv, nil
 }
 
 // handler returns the JSON-RPC gateway handler.
@@ -76,10 +123,20 @@ func (s *server) listen(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
-// close stops the HTTP server (if listening) and the block producer.
+// close stops the HTTP server (if listening) and the block producer, then
+// checkpoints and closes the durable engine so the next start recovers
+// from a snapshot instead of replaying the whole WAL.
 func (s *server) close() {
 	if s.http != nil {
 		_ = s.http.Close()
 	}
 	s.node.Stop()
+	if s.durable != nil {
+		if err := s.durable.Checkpoint(); err != nil {
+			fmt.Println("zkdet-node: shutdown checkpoint:", err)
+		}
+		if err := s.durable.Close(); err != nil {
+			fmt.Println("zkdet-node: closing data dir:", err)
+		}
+	}
 }

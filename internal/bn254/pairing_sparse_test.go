@@ -1,6 +1,7 @@
 package bn254
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/zkdet/zkdet/internal/fr"
@@ -140,10 +141,10 @@ func TestPairingCheckMatchesNaive(t *testing.T) {
 		t.Fatalf("infinity check: fast=%v naive=%v, want both true", okFast, okNaive)
 	}
 
-	if _, err := PairingCheck(make([]G1Affine, 2), make([]G2Affine, 1)); err != ErrPairingInput {
+	if _, err := PairingCheck(make([]G1Affine, 2), make([]G2Affine, 1)); !errors.Is(err, ErrPairingInput) {
 		t.Fatal("length mismatch must return ErrPairingInput")
 	}
-	if _, err := PairingCheckPrecomp(make([]G1Affine, 1), []*G2LinePrecomp{nil}); err != ErrPairingInput {
+	if _, err := PairingCheckPrecomp(make([]G1Affine, 1), []*G2LinePrecomp{nil}); !errors.Is(err, ErrPairingInput) {
 		t.Fatal("nil precomp must return ErrPairingInput")
 	}
 }

@@ -17,7 +17,7 @@ import (
 type NodeSetup struct {
 	Inner     *node.Node
 	Validator TxValidator
-	Store     *storage.Store
+	Store     storage.LocalStore
 }
 
 // ClusterSpec describes a simulated cluster.

@@ -348,7 +348,7 @@ func TestNetStoreCrossNodeFetch(t *testing.T) {
 	// Tamper node 1's replica (if any) and node 0's original: node 2 can
 	// still serve from its own cache, and a fresh member's fetch falls
 	// through tampered peers to the good copy on node 2.
-	cl.Nodes[0].cfg.Store.Corrupt(uri)
+	cl.Nodes[0].cfg.Store.(*storage.Store).Corrupt(uri)
 	ns1 := cl.Nodes[1].NetStore()
 	got, err = ns1.Get(uri)
 	if err != nil {

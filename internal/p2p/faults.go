@@ -20,11 +20,11 @@ type LinkProfile struct {
 // It is mutable mid-run: tests and demos inject partitions, degrade links,
 // and heal them while traffic is flowing. Safe for concurrent use.
 type FaultPlan struct {
-	mu      sync.Mutex
-	def     LinkProfile                 // guarded by mu
-	links   map[linkKey]LinkProfile     // guarded by mu; per-link overrides
-	group   map[NodeID]int              // guarded by mu; partition group per node
-	downs   map[NodeID]bool             // guarded by mu; crashed nodes
+	mu    sync.Mutex
+	def   LinkProfile             // guarded by mu
+	links map[linkKey]LinkProfile // guarded by mu; per-link overrides
+	group map[NodeID]int          // guarded by mu; partition group per node
+	downs map[NodeID]bool         // guarded by mu; crashed nodes
 }
 
 type linkKey struct{ from, to NodeID }
@@ -93,6 +93,20 @@ func (p *FaultPlan) SetDown(id NodeID, down bool) {
 		delete(p.downs, id)
 	}
 	p.mu.Unlock()
+}
+
+// KillAndRestart crash-faults a node: the returned restart function brings
+// it back up (idempotently). Between the two calls the node neither sends
+// nor receives — exactly a SIGKILL'd process from the cluster's point of
+// view. The caller is responsible for actually crashing the member's stack
+// (e.g. DurableStore.Crash) and rebuilding it from its data dir before
+// restarting; the plan only controls the network's view.
+func (p *FaultPlan) KillAndRestart(id NodeID) (restart func()) {
+	p.SetDown(id, true)
+	var once sync.Once
+	return func() {
+		once.Do(func() { p.SetDown(id, false) })
+	}
 }
 
 // admit returns the effective profile for a directed link and whether the

@@ -18,7 +18,7 @@ import (
 // asking peers directly replaces routing).
 type NetStore struct {
 	node  *Node
-	local *storage.Store
+	local storage.LocalStore
 }
 
 // NetStore returns the node's cluster-wide blob store. It requires
@@ -87,7 +87,7 @@ func (s *NetStore) Remove(owner string, uri storage.URI) error {
 }
 
 // Local exposes the node-local half (for tests and direct inspection).
-func (s *NetStore) Local() *storage.Store { return s.local }
+func (s *NetStore) Local() storage.LocalStore { return s.local }
 
 // fetchCandidates lists non-demoted peers in deterministic order.
 func (n *Node) fetchCandidates() []NodeID {

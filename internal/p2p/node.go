@@ -74,8 +74,10 @@ type Config struct {
 	// ingress, block import, and local submission.
 	Validator TxValidator
 	// Store, when set, is this node's local blob store: the node serves
-	// MsgGetBlob from it and accepts MsgBlobPush replicas into it.
-	Store *storage.Store
+	// MsgGetBlob from it and accepts MsgBlobPush replicas into it. Any
+	// storage.LocalStore works — a plain *storage.Store, or the durable
+	// engine's write-ahead-logged wrapper.
+	Store storage.LocalStore
 	// Replicate is how many peers receive a copy of each locally stored
 	// blob (see NetStore). Default 2.
 	Replicate int

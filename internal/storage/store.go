@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -23,10 +25,27 @@ type BlobStore interface {
 	Remove(owner string, uri URI) error
 }
 
+// LocalStore is the interface of one node's local blob store: BlobStore
+// plus the inspection methods the p2p layer needs to serve peers (ownership
+// lookups for replication, existence checks). Store implements it directly;
+// the durable engine's logging wrapper (internal/snapshot.DurableBlobs)
+// implements it by delegation, which is what lets a cluster member persist
+// its blob half without the p2p layer knowing.
+type LocalStore interface {
+	BlobStore
+	// Owner returns the recorded owner of a blob; ok is false on a miss.
+	Owner(uri URI) (string, bool)
+	// Has reports whether the store holds a blob.
+	Has(uri URI) bool
+	// Len reports the number of stored blobs.
+	Len() int
+}
+
 // Interface conformance.
 var (
-	_ BlobStore = (*Network)(nil)
-	_ BlobStore = (*Store)(nil)
+	_ BlobStore  = (*Network)(nil)
+	_ BlobStore  = (*Store)(nil)
+	_ LocalStore = (*Store)(nil)
 )
 
 // Store is one node's local content-addressed blob store — the storage a
@@ -111,6 +130,31 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.blobs)
+}
+
+// BlobExport is one exported blob: its content address, recorded owner,
+// and bytes.
+type BlobExport struct {
+	URI   URI
+	Owner string
+	Data  []byte
+}
+
+// Export deep-copies every stored blob, sorted by URI so serializations of
+// the same store are byte-identical — the blob half of a state snapshot.
+func (s *Store) Export() []BlobExport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BlobExport, 0, len(s.blobs))
+	for uri, data := range s.blobs {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		out = append(out, BlobExport{URI: uri, Owner: s.owners[uri], Data: cp})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].URI[:], out[j].URI[:]) < 0
+	})
+	return out
 }
 
 // Corrupt flips a byte of a stored blob — test hook for tamper evidence.
