@@ -54,6 +54,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTranscriptChallenge$$' -fuzztime=10s ./internal/transcript/
 	$(GO) test -run='^$$' -fuzz='^FuzzTornReplay$$' -fuzztime=10s ./internal/wal/
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s ./internal/snapshot/
+	$(GO) test -run='^$$' -fuzz='^FuzzProofFromBytes$$' -fuzztime=10s ./internal/plonk/
+	$(GO) test -run='^$$' -fuzz='^FuzzLogUpWitness$$' -fuzztime=10s ./internal/plonk/
 
 # Package-level prover-stack benchmarks (Domain.FFT, G1MSM, kzg.Commit,
 # plonk.Prove at 2^10..2^16); see EXPERIMENTS.md for recorded trajectories.

@@ -75,6 +75,7 @@ func main() {
 		figFlag      = flag.Int("fig", 0, "regenerate figure 5, 6 or 7")
 		tableFlag    = flag.Int("table", 0, "regenerate table 1 or 2")
 		proofSize    = flag.Bool("proofsize", false, "check the constant-proof-size claim (§VI-B3)")
+		constraints  = flag.Bool("constraints", false, "per-gadget constraint report: classic vs lookup/custom-gate lowering")
 		ablationFlag = flag.String("ablation", "", "run an ablation: cipher, commitment or decouple")
 		p2pFlag      = flag.Bool("p2p", false, "run the network-layer experiments (gossip, sync)")
 		execFlag     = flag.Bool("exec", false, "run the execution-layer experiment (sealed tx/s, serial vs parallel)")
@@ -88,7 +89,7 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown scale %q (want small or medium)", *scaleFlag)
 	}
-	if !*allFlag && *figFlag == 0 && *tableFlag == 0 && *ablationFlag == "" && !*proofSize && !*p2pFlag && !*execFlag && !*walFlag {
+	if !*allFlag && *figFlag == 0 && *tableFlag == 0 && *ablationFlag == "" && !*proofSize && !*constraints && !*p2pFlag && !*execFlag && !*walFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -124,6 +125,9 @@ func main() {
 	}
 	if *allFlag || *proofSize {
 		runProofSize(system())
+	}
+	if *allFlag || *constraints {
+		runConstraints(system())
 	}
 	if *allFlag || *ablationFlag == "cipher" {
 		runAblationCipher()
@@ -245,7 +249,27 @@ func runProofSize(sys *core.System) {
 	}
 	fmt.Printf("%-10s %-10s %s\n", "task", "entries", "proof bytes")
 	for _, r := range rows {
-		fmt.Printf("%-10s %-10d %d (9 G1 + 16 Fr)\n", r.Task, r.Size, r.ProofBytes)
+		fmt.Printf("%-10s %-10d %d (6B header + 9 G1 + 16 Fr)\n", r.Task, r.Size, r.ProofBytes)
+	}
+}
+
+func runConstraints(sys *core.System) {
+	header("Constraint report — classic vs lookup/custom-gate lowering (DESIGN.md §15)")
+	fmt.Println("lookup lowering: 12-bit range table, one lookup row per limb; hash rounds as custom gates")
+	fmt.Printf("%-28s %-10s %-10s %-8s %s\n", "gadget", "classic", "lookup", "ratio", "what changes")
+	for _, r := range bench.ConstraintReport() {
+		fmt.Printf("%-28s %-10d %-10d %-8s %s\n", r.Gadget, r.Classic, r.Lookup,
+			fmt.Sprintf("%.1fx", r.Ratio()), r.Note)
+	}
+
+	fmt.Println("\nprove wall time — same logreg π_t statement, classic vs lookup lowering:")
+	rows, err := bench.LookupProveCompare(sys, 8)
+	if err != nil {
+		log.Fatalf("lookup prove compare: %v", err)
+	}
+	fmt.Printf("%-28s %-10s %-12s %s\n", "task", "variant", "constraints", "prove")
+	for _, r := range rows {
+		fmt.Printf("%-28s %-10s %-12d %.2fs\n", r.Task, r.Variant, r.Constraints, r.ProveSeconds)
 	}
 }
 

@@ -1,0 +1,44 @@
+package transformer
+
+import (
+	"testing"
+)
+
+// TestForwardProofLookupEndToEnd runs the inference proof with the lookup
+// lowering enabled on the block and checks it verifies only under the
+// lookup-enabled relation.
+func TestForwardProofLookupEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SNARK proof skipped in -short mode")
+	}
+	sys := testSys()
+	cfg := tinyConfig()
+	bl, err := NewBlock(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl.UseLookups = true
+	data, err := cfg.EncodeSequence(tinySequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, os := data.Commit()
+	tp, out, _, err := sys.ProveProcessing(bl, data, cs, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyTransform(tp, bl); err != nil {
+		t.Fatalf("lookup inference proof rejected: %v", err)
+	}
+	if len(out) != cfg.SeqLen*cfg.DOut {
+		t.Fatalf("derived output has %d elements", len(out))
+	}
+	// The same weights without lookups are a different relation.
+	classic, err := NewBlock(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.VerifyTransform(tp, classic); err == nil {
+		t.Fatal("lookup proof verified under classic block key")
+	}
+}

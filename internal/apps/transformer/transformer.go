@@ -62,6 +62,10 @@ type Block struct {
 	B1         []float64   // DFF
 	W2         [][]float64 // DFF × DOut
 	B2         []float64   // DOut
+	// UseLookups compiles the π_t circuit with the range-table lookup
+	// lowering and custom hash gates (DESIGN.md §15); the attention
+	// normalizations and ReLUs are range-check-dominated.
+	UseLookups bool
 }
 
 // NewBlock builds a block with small deterministic pseudo-random weights
@@ -137,7 +141,13 @@ func (c Config) DecodeOutput(d core.Dataset) ([][]float64, error) {
 	return out, nil
 }
 
-var _ core.Processor = (*Block)(nil)
+var (
+	_ core.Processor       = (*Block)(nil)
+	_ core.LookupProcessor = (*Block)(nil)
+)
+
+// WantsLookupCircuit implements core.LookupProcessor.
+func (bl *Block) WantsLookupCircuit() bool { return bl.UseLookups }
 
 // Name implements core.Processor. It includes a digest of the weights:
 // two blocks with equal dimensions but different parameters are different
@@ -159,8 +169,12 @@ func (bl *Block) Name() string {
 	writeMat(bl.W2)
 	_ = binary.Write(h, binary.BigEndian, bl.B1)
 	_ = binary.Write(h, binary.BigEndian, bl.B2)
-	return fmt.Sprintf("transformer/m%d/d%d/k%d/f%d/o%d/w%x",
-		c.SeqLen, c.DModel, c.DK, c.DFF, c.DOut, h.Sum64())
+	suffix := ""
+	if bl.UseLookups {
+		suffix = "/lk"
+	}
+	return fmt.Sprintf("transformer/m%d/d%d/k%d/f%d/o%d/w%x%s",
+		c.SeqLen, c.DModel, c.DK, c.DFF, c.DOut, h.Sum64(), suffix)
 }
 
 // Apply implements core.Processor by running the gadget on a scratch

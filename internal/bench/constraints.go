@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zkdet/zkdet/internal/apps/logreg"
+	"github.com/zkdet/zkdet/internal/apps/transformer"
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/core"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/mimc"
+	"github.com/zkdet/zkdet/internal/poseidon"
+)
+
+// ConstraintRow compares one gadget's constraint count under the classic
+// compilation and under the plookup/custom-gate lowering (DESIGN.md §15).
+type ConstraintRow struct {
+	Gadget  string
+	Classic int
+	Lookup  int
+	// Note highlights what the lowering replaces.
+	Note string
+}
+
+// Ratio is the constraint reduction factor.
+func (r ConstraintRow) Ratio() float64 {
+	if r.Lookup == 0 {
+		return 0
+	}
+	return float64(r.Classic) / float64(r.Lookup)
+}
+
+// countGates runs build against a fresh builder and returns the number of
+// gates it appended. With lookups true the builder has the range table and
+// custom gates enabled.
+func countGates(lookups bool, build func(b *circuit.Builder)) int {
+	b := circuit.NewBuilder()
+	if lookups {
+		b.EnableLookups(circuit.DefaultRangeTableBits)
+		b.EnableCustomGates()
+	}
+	before := b.NbGates()
+	build(b)
+	return b.NbGates() - before
+}
+
+// compareGadget measures one gadget both ways.
+func compareGadget(name, note string, build func(b *circuit.Builder)) ConstraintRow {
+	return ConstraintRow{
+		Gadget:  name,
+		Classic: countGates(false, build),
+		Lookup:  countGates(true, build),
+		Note:    note,
+	}
+}
+
+// ConstraintReport measures the per-gadget constraint counts behind the
+// lookup-argument evaluation: range checks and comparisons (lookup rows vs
+// bit decomposition), hash rounds (custom gates vs arithmetic lowering),
+// and the ML predicates that compose them.
+func ConstraintReport() []ConstraintRow {
+	rows := []ConstraintRow{
+		compareGadget("AssertRange 16-bit", "2 lookups vs 16 booleans", func(b *circuit.Builder) {
+			b.AssertRange(b.Secret(fr.NewElement(1234)), 16)
+		}),
+		compareGadget("AssertRange 85-bit", "fixed-point rescale bound", func(b *circuit.Builder) {
+			b.AssertRange(b.Secret(fr.NewElement(1234)), 85)
+		}),
+		compareGadget("IsLess 32-bit", "top-bit probe vs full decomposition", func(b *circuit.Builder) {
+			x := b.Secret(fr.NewElement(5))
+			y := b.Secret(fr.NewElement(9))
+			b.IsLess(x, y, 32)
+		}),
+		compareGadget("FixedMul (rescale)", "two range checks per product", func(b *circuit.Builder) {
+			x := b.Secret(circuit.FixedFromFloat(1.5))
+			y := b.Secret(circuit.FixedFromFloat(2.5))
+			b.FixedMul(x, y)
+		}),
+		compareGadget("ReLU 20-bit", "sign probe + select", func(b *circuit.Builder) {
+			b.ReLU(b.Secret(circuit.FixedFromFloat(-1.0)), 20)
+		}),
+		compareGadget("MiMC block (91 rounds)", "1 custom row per round", func(b *circuit.Builder) {
+			k := b.Secret(fr.NewElement(1))
+			x := b.Secret(fr.NewElement(2))
+			mimc.GadgetEncrypt(b, k, x)
+		}),
+		compareGadget("Poseidon permutation", "1 custom row per round", func(b *circuit.Builder) {
+			s := [3]circuit.Variable{
+				b.Secret(fr.NewElement(1)), b.Secret(fr.NewElement(2)), b.Secret(fr.NewElement(3)),
+			}
+			poseidon.GadgetPermute(b, s)
+		}),
+	}
+
+	// Application predicates: the logreg convergence bound and a tiny
+	// transformer block, both range-check-dominated.
+	trainer := &logreg.Trainer{N: 6, K: 2, Step: 0.5, Lambda: 0.05, MaxIters: 50, Epsilon: 0.05}
+	rows = append(rows, compareGadget(
+		fmt.Sprintf("LogReg convergence (%dx%d)", trainer.N, trainer.K),
+		"gradient bound per feature",
+		func(b *circuit.Builder) {
+			wires := make([]circuit.Variable, 2+trainer.N*(trainer.K+1))
+			for i := range wires {
+				wires[i] = b.Secret(fr.Element{})
+			}
+			wires[0] = b.Secret(fr.NewElement(uint64(trainer.N)))
+			wires[1] = b.Secret(fr.NewElement(uint64(trainer.K)))
+			trainer.Gadget(b, wires)
+		}))
+
+	cfgT := transformer.Config{SeqLen: 2, DModel: 2, DK: 2, DFF: 2, DOut: 2}
+	if bl, err := transformer.NewBlock(cfgT, 7); err == nil {
+		rows = append(rows, compareGadget(
+			fmt.Sprintf("Transformer block (m=%d,d=%d)", cfgT.SeqLen, cfgT.DModel),
+			"attention normalizations + ReLUs",
+			func(b *circuit.Builder) {
+				wires := make([]circuit.Variable, cfgT.SeqLen*cfgT.DModel)
+				for i := range wires {
+					wires[i] = b.Secret(fr.Element{})
+				}
+				bl.Gadget(b, wires)
+			}))
+	}
+	return rows
+}
+
+// LookupProveRow is one timed π_t proving run of a logreg training proof,
+// classic vs lookup-lowered.
+type LookupProveRow struct {
+	Task         string
+	Variant      string // "classic" or "lookup"
+	Constraints  int
+	ProveSeconds float64
+}
+
+// LookupProveCompare times the full π_t pipeline (commit, prove) for the
+// logreg convergence predicate with and without the lookup lowering: fewer
+// constraints mean a smaller domain, hence fewer FFTs and smaller MSMs.
+// The circuit setup is warmed before timing.
+func LookupProveCompare(sys *core.System, samples int) ([]LookupProveRow, error) {
+	data, trainer, err := logregWorkload(samples)
+	if err != nil {
+		return nil, err
+	}
+	cs, os := data.Commit()
+
+	var rows []LookupProveRow
+	for _, useLookups := range []bool{false, true} {
+		tr := *trainer
+		tr.UseLookups = useLookups
+		variant := "classic"
+		if useLookups {
+			variant = "lookup"
+		}
+		// Constraint count via a direct build (mirrors the proved circuit).
+		nb := countGates(useLookups, func(b *circuit.Builder) {
+			wires := make([]circuit.Variable, len(data))
+			for i := range data {
+				wires[i] = b.Secret(data[i])
+			}
+			tr.Gadget(b, wires)
+		})
+		if _, _, _, err := sys.ProveProcessing(&tr, data, cs, os); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, _, _, err := sys.ProveProcessing(&tr, data, cs, os); err != nil {
+			return nil, err
+		}
+		rows = append(rows, LookupProveRow{
+			Task:         fmt.Sprintf("LogReg π_t (%d samples)", samples),
+			Variant:      variant,
+			Constraints:  nb,
+			ProveSeconds: time.Since(start).Seconds(),
+		})
+	}
+	return rows, nil
+}

@@ -26,6 +26,8 @@ type Variable struct {
 
 type gateTmpl struct {
 	qL, qR, qO, qM, qC fr.Element
+	kind               plonk.GateKind
+	k                  [3]fr.Element
 	a, b, c            int
 }
 
@@ -41,6 +43,15 @@ type Builder struct {
 	gates     []gateTmpl
 	constants map[string]Variable
 	err       error // first deferred gadget error, reported by Compile
+
+	// Lookup/custom-gate configuration (see EnableLookups and
+	// EnableCustomGates). Zero values keep the classic compilation, which
+	// produces bit-identical circuits to the pre-lookup builder.
+	lookupBits  int
+	customGates bool
+	mds         [3][3]fr.Element
+	mdsSet      bool
+	rangeGates  int // gates spent on range/comparison checks, for Stats
 }
 
 // Fail records a deferred circuit-construction error. The first error
@@ -58,6 +69,103 @@ func (b *Builder) Err() error { return b.err }
 // NewBuilder returns an empty circuit builder.
 func NewBuilder() *Builder {
 	return &Builder{constants: make(map[string]Variable)}
+}
+
+// Gate kinds, re-exported so gadget packages (mimc, poseidon) can emit
+// custom rows without importing the backend.
+const (
+	KindArith           = plonk.KindArith
+	KindLookup          = plonk.KindLookup
+	KindMiMC            = plonk.KindMiMC
+	KindPoseidonFull    = plonk.KindPoseidonFull
+	KindPoseidonPartial = plonk.KindPoseidonPartial
+)
+
+// DefaultRangeTableBits is the range-table width circuits opt into by
+// default: 2^12 = 4096 table rows, so a 16-bit range check costs 2
+// lookups and an 85-bit one costs 8, versus one gate per bit classically.
+const DefaultRangeTableBits = 12
+
+// EnableLookups switches AssertRange and the comparison gadgets to the
+// k-bit range-table lookup lowering. The domain (and hence the SRS) must
+// cover 2^bits rows; call before emitting any range checks.
+func (b *Builder) EnableLookups(bits int) {
+	if bits < 1 || bits > plonk.MaxTableBits {
+		b.Fail("circuit: lookup table bits %d out of range", bits)
+		return
+	}
+	b.lookupBits = bits
+}
+
+// LookupBits returns the enabled range-table width, 0 if lookups are off.
+func (b *Builder) LookupBits() int { return b.lookupBits }
+
+// EnableCustomGates lets hash gadgets (Poseidon, MiMC) emit one custom
+// gate per round instead of the generic arithmetic lowering.
+func (b *Builder) EnableCustomGates() { b.customGates = true }
+
+// CustomGatesEnabled reports whether hash gadgets should use custom rows.
+func (b *Builder) CustomGatesEnabled() bool { return b.customGates }
+
+// SetPoseidonMDS records the MDS matrix the Poseidon custom gates
+// multiply by; the Poseidon gadget calls this before emitting rounds.
+func (b *Builder) SetPoseidonMDS(m [3][3]fr.Element) {
+	b.mds = m
+	b.mdsSet = true
+}
+
+// Lookup emits one lookup row asserting x ∈ [0, 2^LookupBits).
+func (b *Builder) Lookup(x Variable) {
+	if b.lookupBits == 0 {
+		b.Fail("circuit: Lookup without EnableLookups")
+		return
+	}
+	b.gates = append(b.gates, gateTmpl{kind: plonk.KindLookup, a: x.id, b: x.id, c: x.id})
+}
+
+// CustomGate emits one custom-gate row (a Poseidon or MiMC round). The
+// row's constraint reads the NEXT emitted row's wires, so callers must
+// emit round rows back-to-back and close the sequence with NoOpRow
+// carrying the final state.
+func (b *Builder) CustomGate(kind plonk.GateKind, x, y, z Variable, k [3]fr.Element) {
+	if !b.customGates {
+		b.Fail("circuit: CustomGate without EnableCustomGates")
+		return
+	}
+	b.gates = append(b.gates, gateTmpl{kind: kind, k: k, a: x.id, b: y.id, c: z.id})
+}
+
+// NoOpRow emits a constraint-free row wiring (x, y, z), terminating a
+// custom-gate sequence so the last round's next-row read lands on the
+// final state.
+func (b *Builder) NoOpRow(x, y, z Variable) {
+	b.gates = append(b.gates, gateTmpl{a: x.id, b: y.id, c: z.id})
+}
+
+// Stats summarizes the recorded gates by constraint family — the data
+// behind zkdet-bench's constraint report.
+type Stats struct {
+	Total  int // all recorded gates (excluding public exposure rows)
+	Arith  int
+	Lookup int
+	Custom int // hash-round custom gates
+	Range  int // subset of gates attributable to range/comparison checks
+}
+
+// Stats returns the current per-family gate counts.
+func (b *Builder) Stats() Stats {
+	st := Stats{Total: len(b.gates), Range: b.rangeGates}
+	for i := range b.gates {
+		switch b.gates[i].kind {
+		case plonk.KindLookup:
+			st.Lookup++
+		case plonk.KindArith:
+			st.Arith++
+		default:
+			st.Custom++
+		}
+	}
+	return st
 }
 
 // NbGates returns the number of gates recorded so far (excluding the
@@ -271,6 +379,21 @@ func (b *Builder) Compile() (*plonk.ConstraintSystem, []fr.Element, error) {
 	for next > cs.NbVariables() {
 		cs.NewVariable()
 	}
+	hasLookupRows := false
+	for i := range b.gates {
+		if b.gates[i].kind == plonk.KindLookup {
+			hasLookupRows = true
+			break
+		}
+	}
+	if hasLookupRows {
+		if err := cs.UseRangeTable(b.lookupBits); err != nil {
+			return nil, nil, fmt.Errorf("circuit: %w", err)
+		}
+	}
+	if b.mdsSet {
+		cs.SetPoseidonMDS(b.mds)
+	}
 	witness := make([]fr.Element, len(b.values))
 	for old, val := range b.values {
 		witness[remap[old]] = val
@@ -278,6 +401,7 @@ func (b *Builder) Compile() (*plonk.ConstraintSystem, []fr.Element, error) {
 	for _, g := range b.gates {
 		if err := cs.AddGate(plonk.Gate{
 			QL: g.qL, QR: g.qR, QO: g.qO, QM: g.qM, QC: g.qC,
+			Kind: g.kind, K: g.k,
 			A: remap[g.a], B: remap[g.b], C: remap[g.c],
 		}); err != nil {
 			return nil, nil, fmt.Errorf("circuit: %w", err)

@@ -113,9 +113,87 @@ func (b *Builder) FromBits(bits []Variable) Variable {
 	return acc
 }
 
-// AssertRange constrains x < 2^n.
+// AssertRange constrains x < 2^n. With lookups enabled it decomposes x
+// into ⌈n/k⌉ k-bit limbs, each checked by one range-table lookup row;
+// classically it bit-decomposes (one boolean gate per bit).
 func (b *Builder) AssertRange(x Variable, n int) {
-	b.ToBits(x, n)
+	before := len(b.gates)
+	if b.lookupBits == 0 {
+		b.ToBits(x, n)
+	} else {
+		b.assertRangeLookup(x, n)
+	}
+	b.rangeGates += len(b.gates) - before
+}
+
+// assertRangeLookup is the lookup lowering of AssertRange. The final limb
+// of width w < k is checked by looking up limb·2^(k−w), which lies in the
+// table exactly when limb < 2^w.
+func (b *Builder) assertRangeLookup(x Variable, n int) {
+	if n <= 0 {
+		b.Fail("circuit: AssertRange with %d bits", n)
+		return
+	}
+	k := b.lookupBits
+	lookupLimb := func(limb Variable, width int) {
+		if width == k {
+			b.Lookup(limb)
+			return
+		}
+		scale := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(k-width)))
+		b.Lookup(b.MulConst(limb, scale))
+	}
+	if n <= k {
+		lookupLimb(x, n)
+		return
+	}
+	nLimbs := (n + k - 1) / k
+	lastW := n - (nLimbs-1)*k
+	val := b.values[x.id].BigInt()
+	mask := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(k)), big.NewInt(1))
+	limbs := make([]Variable, nLimbs)
+	for j := 0; j < nLimbs; j++ {
+		lv := new(big.Int).Rsh(val, uint(j*k))
+		lv.And(lv, mask)
+		limbs[j] = b.newVar(fr.FromBig(lv))
+		w := k
+		if j == nLimbs-1 {
+			w = lastW
+		}
+		lookupLimb(limbs[j], w)
+	}
+	// Recompose: Σ limb_j·2^{j·k} == x.
+	base := new(big.Int).Lsh(big.NewInt(1), uint(k))
+	coeff := new(big.Int).Set(base)
+	acc := b.Lc2(limbs[0], frOne, limbs[1], fr.FromBig(coeff))
+	for j := 2; j < nLimbs; j++ {
+		coeff.Mul(coeff, base)
+		acc = b.Lc2(acc, frOne, limbs[j], fr.FromBig(coeff))
+	}
+	b.AssertEqual(acc, x)
+}
+
+// topBit returns bit n of x for x < 2^{n+1} — the sign probe behind the
+// comparison gadgets. With lookups it allocates (high, low) witnesses with
+// x = high·2^n + low, high boolean and low range-checked by lookups,
+// instead of a full bit decomposition.
+func (b *Builder) topBit(x Variable, n int) Variable {
+	if b.lookupBits == 0 {
+		return b.ToBits(x, n+1)[n]
+	}
+	before := len(b.gates)
+	val := b.values[x.id].BigInt()
+	highVal := new(big.Int).Rsh(val, uint(n))
+	lowVal := new(big.Int).Sub(val, new(big.Int).Lsh(highVal, uint(n)))
+	high := b.newVar(fr.FromBig(highVal))
+	low := b.newVar(fr.FromBig(lowVal))
+	b.AssertBoolean(high)
+	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(n)))
+	recon := b.Lc2(high, pow, low, frOne)
+	b.AssertEqual(recon, x)
+	b.assertRangeLookup(low, n)
+	b.rangeGates += len(b.gates) - before
+	return high
 }
 
 // IsLess returns 1 iff x < y, treating both as n-bit unsigned integers
@@ -124,8 +202,7 @@ func (b *Builder) IsLess(x, y Variable, n int) Variable {
 	// z = 2^n + x - y ∈ (0, 2^{n+1}); bit n of z is 1 iff x >= y.
 	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(n)))
 	z := b.AddConst(b.Sub(x, y), pow)
-	bits := b.ToBits(z, n+1)
-	return b.Not(bits[n])
+	return b.Not(b.topBit(z, n))
 }
 
 // IsLessOrEqual returns 1 iff x <= y for n-bit values.
@@ -290,8 +367,7 @@ func (b *Builder) isNegative(x Variable, n int) Variable {
 	// x + 2^n ∈ (0, 2^{n+1}); bit n is 0 exactly when x is negative.
 	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(n)))
 	shifted := b.AddConst(x, pow)
-	bits := b.ToBits(shifted, n+1)
-	return b.Not(bits[n])
+	return b.Not(b.topBit(shifted, n))
 }
 
 // AbsDiffLessOrEqual constrains |x - y| <= bound for signed fixed-point

@@ -271,8 +271,22 @@ type Processor interface {
 	Gadget(b *circuit.Builder, src []circuit.Variable) []circuit.Variable
 }
 
+// LookupProcessor is an optional Processor extension: a processor whose
+// WantsLookupCircuit returns true has its π_t circuit compiled with the
+// range-table lookup lowering and custom hash gates (DESIGN.md §15),
+// cutting the constraint count of range-check-heavy gadgets by multiples.
+// Prover and verifier rebuild the circuit from the same Processor, so the
+// flag is part of the circuit shape and needs no extra statement data.
+type LookupProcessor interface {
+	WantsLookupCircuit() bool
+}
+
 func buildProcessingCircuit(p Processor, n int, src Dataset, cs, cd, os, od fr.Element) *circuit.Builder {
 	b := circuit.NewBuilder()
+	if lp, ok := p.(LookupProcessor); ok && lp.WantsLookupCircuit() {
+		b.EnableLookups(circuit.DefaultRangeTableBits)
+		b.EnableCustomGates()
+	}
 	csPub := b.Public(cs)
 	cdPub := b.Public(cd)
 	osv := b.Secret(os)

@@ -118,9 +118,13 @@ func HashBytes(data []byte) fr.Element {
 }
 
 // GadgetEncrypt emits the MiMC permutation as circuit constraints,
-// returning the ciphertext wire. It mirrors Encrypt exactly
-// (≈ 4·Rounds multiplication gates).
+// returning the ciphertext wire. It mirrors Encrypt exactly. With custom
+// gates enabled each round is a single KindMiMC row (plus one closing
+// row); classically a round costs ~6 multiplication gates.
 func GadgetEncrypt(b *circuit.Builder, k, x circuit.Variable) circuit.Variable {
+	if b.CustomGatesEnabled() {
+		return gadgetEncryptCustom(b, k, x)
+	}
 	t := x
 	for i := 0; i < Rounds; i++ {
 		u := b.Add(t, k)
@@ -131,6 +135,28 @@ func GadgetEncrypt(b *circuit.Builder, k, x circuit.Variable) circuit.Variable {
 		u6 := b.Mul(u4, u2)
 		t = b.Mul(u6, u)
 	}
+	return b.Add(t, k)
+}
+
+// gadgetEncryptCustom lowers the permutation to one KindMiMC row per
+// round: row wires (t, k, u²) with u = t + k + c_i, the gate constraining
+// c = u² and nextrow.a = c³·u = u⁷. Rounds chain through the a-wire, so
+// the rows are emitted back-to-back and closed with a no-op row carrying
+// the final state.
+func gadgetEncryptCustom(b *circuit.Builder, k, x circuit.Variable) circuit.Variable {
+	t := x
+	for i := 0; i < Rounds; i++ {
+		var u fr.Element
+		tv, kv := b.Value(t), b.Value(k)
+		u.Add(&tv, &kv)
+		u.Add(&u, &roundConstants[i])
+		var u2 fr.Element
+		u2.Square(&u)
+		sq := b.Secret(u2)
+		b.CustomGate(circuit.KindMiMC, t, k, sq, [3]fr.Element{roundConstants[i]})
+		t = b.Secret(pow7(u))
+	}
+	b.NoOpRow(t, t, t)
 	return b.Add(t, k)
 }
 

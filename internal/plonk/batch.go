@@ -46,6 +46,24 @@ func (b *Batch) Add(proof *Proof, public []fr.Element) error {
 	return nil
 }
 
+// AddFor runs Add's per-proof verification against a DIFFERENT verifying
+// key, deferring the pairing statement into this batch. This folds proofs
+// of different circuits — classic, lookup-enabled, custom-gate — into one
+// pairing check: the deferred statement e(L, G2)·e(−W, τG2) == 1 only
+// depends on the SRS, so any key sharing the batch key's G2 points can
+// contribute. Keys from a different SRS are rejected.
+func (b *Batch) AddFor(vk *VerifyingKey, proof *Proof, public []fr.Element) error {
+	if !vk.G2[0].Equal(&b.vk.G2[0]) || !vk.G2[1].Equal(&b.vk.G2[1]) {
+		return fmt.Errorf("plonk: batch AddFor: verifying key from a different SRS")
+	}
+	terms, err := prepare(vk, proof, public)
+	if err != nil {
+		return err
+	}
+	b.terms = append(b.terms, terms)
+	return nil
+}
+
 // addTerms appends an already-prepared statement; BatchVerify uses it to
 // parallelise preparation across proofs.
 func (b *Batch) addTerms(t pairingTerms) {

@@ -29,16 +29,59 @@ var (
 	ErrSRSTooSmall   = errors.New("plonk: SRS too small for circuit")
 	ErrEmptyCircuit  = errors.New("plonk: circuit has no variables")
 	ErrWitnessLength = errors.New("plonk: witness length mismatch")
+	ErrLookupRange   = errors.New("plonk: lookup value outside range table")
+	ErrNoRangeTable  = errors.New("plonk: lookup gate without a range table")
+	ErrNoMDS         = errors.New("plonk: poseidon gate without an MDS matrix")
+	ErrProofShape    = errors.New("plonk: proof shape does not match verifying key")
+	ErrTableTooLarge = errors.New("plonk: range table bits out of range")
 )
 
-// Gate is one Plonk gate: the constraint
+// GateKind selects the constraint family a gate row enforces. The zero
+// value is the classic arithmetic gate; the other kinds are the custom
+// gates and lookup rows of the plookup extension (DESIGN.md §15). Rows of
+// any kind still carry the arithmetic selectors (zero for the generated
+// gadgets) and participate in the copy-constraint permutation.
+type GateKind uint8
+
+const (
+	// KindArith is the classic qL·a + qR·b + qO·c + qM·a·b + qC gate.
+	KindArith GateKind = iota
+	// KindLookup asserts that the a-wire's value appears in the range
+	// table (i.e. 0 ≤ a < 2^TableBits), via the log-derivative lookup
+	// argument instead of a bit decomposition.
+	KindLookup
+	// KindMiMC packs one MiMC round t' = (t+k+rc)^7 into a single row:
+	// wires (a,b,c) = (t, k, u²) with u = a+b+K0, constraining c = u² and
+	// nextrow.a = c³·u. The round constant rides in K[0].
+	KindMiMC
+	// KindPoseidonFull packs one full Poseidon round: wires carry the
+	// state, K the round constants, and the next row's wires must equal
+	// MDS·(w+K)^5 lane-wise.
+	KindPoseidonFull
+	// KindPoseidonPartial is the partial round: only lane a is S-boxed.
+	KindPoseidonPartial
+)
+
+// isCustom reports whether the kind reads the next row's wires.
+func (k GateKind) isCustom() bool {
+	return k == KindMiMC || k == KindPoseidonFull || k == KindPoseidonPartial
+}
+
+// Gate is one Plonk gate row: for KindArith the constraint
 //
 //	qL·a + qR·b + qO·c + qM·a·b + qC + PI = 0
 //
 // where a, b, c are the values of the three wired variables and PI is the
 // public-input polynomial (non-zero only on the first NbPublic rows).
+// Other kinds add their family's constraint on top (the arithmetic
+// selectors are still enforced and are normally zero on such rows).
 type Gate struct {
 	QL, QR, QO, QM, QC fr.Element
+	// Kind selects the constraint family (zero value: arithmetic).
+	Kind GateKind
+	// K carries per-row custom-gate constants (round constants); unused
+	// for arithmetic and lookup rows.
+	K [3]fr.Element
 	// A, B, C are variable indices wired into this gate's three slots.
 	A, B, C int
 }
@@ -50,6 +93,12 @@ type ConstraintSystem struct {
 	nbPublic    int
 	nbVariables int
 	gates       []Gate
+
+	tableBits int              // range table covers [0, 2^tableBits)
+	mds       [3][3]fr.Element // Poseidon MDS matrix for the custom rounds
+	mdsSet    bool
+	hasLookup bool
+	hasCustom bool
 }
 
 // NewConstraintSystem creates a system with nbPublic public-input
@@ -82,12 +131,58 @@ func (cs *ConstraintSystem) NewVariable() int {
 	return v
 }
 
+// MaxTableBits caps the range table: 2^20 rows already dominates any
+// circuit here, and the SRS must cover the table.
+const MaxTableBits = 20
+
+// UseRangeTable declares that this system's lookup rows check membership
+// in the table {0, 1, …, 2^bits − 1}. Must be called before adding the
+// first KindLookup gate.
+func (cs *ConstraintSystem) UseRangeTable(bits int) error {
+	if bits < 1 || bits > MaxTableBits {
+		return fmt.Errorf("%w: %d bits", ErrTableTooLarge, bits)
+	}
+	cs.tableBits = bits
+	return nil
+}
+
+// RangeTableBits returns the declared range-table width, 0 if none.
+func (cs *ConstraintSystem) RangeTableBits() int { return cs.tableBits }
+
+// SetPoseidonMDS installs the MDS matrix the Poseidon custom gates
+// multiply by. It becomes part of the verifying key.
+func (cs *ConstraintSystem) SetPoseidonMDS(m [3][3]fr.Element) {
+	cs.mds = m
+	cs.mdsSet = true
+}
+
+// HasLookup reports whether any gate row is a lookup.
+func (cs *ConstraintSystem) HasLookup() bool { return cs.hasLookup }
+
+// HasCustomGates reports whether any gate row uses a custom (next-row)
+// constraint family.
+func (cs *ConstraintSystem) HasCustomGates() bool { return cs.hasCustom }
+
 // AddGate appends a gate. Wire indices must reference existing variables.
 func (cs *ConstraintSystem) AddGate(g Gate) error {
 	for _, w := range []int{g.A, g.B, g.C} {
 		if w < 0 || w >= cs.nbVariables {
 			return fmt.Errorf("plonk: gate references unknown variable %d (have %d)", w, cs.nbVariables)
 		}
+	}
+	switch {
+	case g.Kind == KindLookup:
+		if cs.tableBits == 0 {
+			return ErrNoRangeTable
+		}
+		cs.hasLookup = true
+	case g.Kind == KindPoseidonFull || g.Kind == KindPoseidonPartial:
+		if !cs.mdsSet {
+			return ErrNoMDS
+		}
+		cs.hasCustom = true
+	case g.Kind == KindMiMC:
+		cs.hasCustom = true
 	}
 	cs.gates = append(cs.gates, g)
 	return nil
@@ -128,6 +223,73 @@ func (cs *ConstraintSystem) IsSatisfied(witness []fr.Element) error {
 		}
 		if !acc.IsZero() {
 			return fmt.Errorf("%w: gate %d", ErrUnsatisfied, i)
+		}
+		switch g.Kind {
+		case KindLookup:
+			if v, ok := a.Uint64(); !ok || v >= uint64(1)<<cs.tableBits {
+				return fmt.Errorf("%w: gate %d", ErrLookupRange, i)
+			}
+		case KindMiMC, KindPoseidonFull, KindPoseidonPartial:
+			// Custom gates read the following row's wires; past the last
+			// gate the prover pads with rows wired to variable 0, matching
+			// the polynomial identity on the padded domain.
+			na, nb, nc := witness[0], witness[0], witness[0]
+			if i+1 < len(cs.gates) {
+				ng := cs.gates[i+1]
+				na, nb, nc = witness[ng.A], witness[ng.B], witness[ng.C]
+			}
+			if err := checkCustomGate(g, cs.mds, a, b, c, na, nb, nc); err != nil {
+				return fmt.Errorf("%w: gate %d", err, i)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCustomGate evaluates one custom-gate family on concrete wire values;
+// it is the reference semantics mirrored by the prover's quotient and the
+// verifier's evaluation at ζ.
+func checkCustomGate(g Gate, mds [3][3]fr.Element, a, b, c, na, nb, nc fr.Element) error {
+	switch g.Kind {
+	case KindMiMC:
+		// u = a + b + K0; constraints c = u² and na = c³·u  (⇒ na = u⁷).
+		var u, u2, t fr.Element
+		u.Add(&a, &b)
+		u.Add(&u, &g.K[0])
+		u2.Square(&u)
+		if !u2.Equal(&c) {
+			return ErrUnsatisfied
+		}
+		t.Square(&c)
+		t.Mul(&t, &c)
+		t.Mul(&t, &u)
+		if !t.Equal(&na) {
+			return ErrUnsatisfied
+		}
+	case KindPoseidonFull, KindPoseidonPartial:
+		w := [3]fr.Element{a, b, c}
+		next := [3]fr.Element{na, nb, nc}
+		var sb [3]fr.Element
+		for j := 0; j < 3; j++ {
+			var t fr.Element
+			t.Add(&w[j], &g.K[j])
+			if g.Kind == KindPoseidonFull || j == 0 {
+				var t2 fr.Element
+				t2.Square(&t)
+				t2.Square(&t2)
+				t.Mul(&t2, &t)
+			}
+			sb[j] = t
+		}
+		for l := 0; l < 3; l++ {
+			var acc, t fr.Element
+			for j := 0; j < 3; j++ {
+				t.Mul(&mds[l][j], &sb[j])
+				acc.Add(&acc, &t)
+			}
+			if !acc.Equal(&next[l]) {
+				return ErrUnsatisfied
+			}
 		}
 	}
 	return nil

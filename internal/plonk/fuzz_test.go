@@ -1,0 +1,137 @@
+package plonk
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// FuzzProofFromBytes drives the versioned proof decoder with arbitrary
+// blobs. The decoder must never panic, and any blob it accepts must
+// re-encode to the same bytes (the encoding is canonical).
+func FuzzProofFromBytes(f *testing.F) {
+	// Seed with real encodings of each proof shape so the fuzzer starts
+	// from deep inside the accepting region.
+	csC, wC := buildMulAddCircuit()
+	pkC, _, err := Setup(csC, testSRSOnce())
+	if err != nil {
+		f.Fatal(err)
+	}
+	pC, err := Prove(pkC, wC)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pC.Bytes())
+
+	csL, wL := buildLookupCircuit(8, []uint64{3, 200})
+	pkL, _, err := Setup(csL, testSRSOnce())
+	if err != nil {
+		f.Fatal(err)
+	}
+	pL, err := Prove(pkL, wL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pL.Bytes())
+
+	csM, wM := buildMiMCCustomCircuit(4)
+	pkM, _, err := Setup(csM, testSRSOnce())
+	if err != nil {
+		f.Fatal(err)
+	}
+	pM, err := Prove(pkM, wM)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pM.Bytes())
+
+	f.Add([]byte("ZKPF"))
+	f.Add(make([]byte, LegacyProofSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ProofFromBytes(data)
+		if err != nil {
+			return
+		}
+		back := p.Bytes()
+		if !bytes.Equal(back, data) {
+			t.Fatalf("accepted blob does not re-encode canonically:\n in  %x\n out %x", data, back)
+		}
+		// A re-decode of the re-encoding must also succeed.
+		if _, err := ProofFromBytes(back); err != nil {
+			t.Fatalf("re-encoded proof rejected: %v", err)
+		}
+	})
+}
+
+// FuzzLogUpWitness drives the LogUp witness builder with arbitrary wire
+// values and lookup-row placements. Whenever buildMultiplicities accepts
+// the witness, the running sum built from its output must telescope to
+// zero — the algebraic heart of the lookup argument (DESIGN.md §15).
+func FuzzLogUpWitness(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(4))
+	f.Add([]byte{255, 255, 0, 17, 42}, uint8(8))
+	f.Add([]byte{}, uint8(1))
+
+	f.Fuzz(func(t *testing.T, raw []byte, bitsRaw uint8) {
+		tableBits := int(bitsRaw%8) + 1 // 1..8 keeps the table small
+		const n = 64
+		if len(raw) > n {
+			raw = raw[:n]
+		}
+		// One gate per input byte; odd bytes become lookup rows carrying
+		// the byte value (possibly out of table for tableBits < 8).
+		gates := make([]Gate, n)
+		witness := make([]fr.Element, 1, n+1) // witness[0] = 0
+		for i := range gates {
+			gates[i].A = 0
+			gates[i].B = 0
+			gates[i].C = 0
+			if i < len(raw) && raw[i]%2 == 1 {
+				gates[i].Kind = KindLookup
+				witness = append(witness, fr.NewElement(uint64(raw[i])))
+				gates[i].A = len(witness) - 1
+				gates[i].B = gates[i].A
+				gates[i].C = gates[i].A
+			}
+		}
+
+		mV, err := buildMultiplicities(gates, witness, tableBits, n)
+		if err != nil {
+			// Out-of-table witness: the prover must refuse to build the
+			// columns at all.
+			return
+		}
+
+		// Wire column a and table column over the domain.
+		aV := make([]fr.Element, n)
+		tblV := make([]fr.Element, n)
+		size := uint64(1) << tableBits
+		for i := 0; i < n; i++ {
+			aV[i] = witness[gates[i].A]
+			if uint64(i) < size {
+				tblV[i] = fr.NewElement(uint64(i))
+			}
+		}
+
+		betaL := fr.NewElement(0xbe7a_1234)
+		hV, sV := buildLogUpColumns(gates, aV, mV, tblV, betaL)
+
+		// The telescoping invariant: S_{n-1} + H_{n-1} = Σ H_i = 0.
+		var sum fr.Element
+		sum.Add(&sV[n-1], &hV[n-1])
+		if !sum.IsZero() {
+			t.Fatalf("LogUp sum does not telescope to zero (tableBits=%d, %d lookups)",
+				tableBits, len(witness)-1)
+		}
+		// And S must actually be the prefix sum of H.
+		var acc fr.Element
+		for i := 0; i < n; i++ {
+			if !acc.Equal(&sV[i]) {
+				t.Fatalf("S[%d] is not the prefix sum of H", i)
+			}
+			acc.Add(&acc, &hV[i])
+		}
+	})
+}

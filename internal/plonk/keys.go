@@ -37,6 +37,19 @@ type ProvingKey struct {
 	// Permutation polynomials sσ1, sσ2, sσ3 in coefficient form.
 	S1, S2, S3 poly.Polynomial
 
+	// Lookup/custom-gate preprocessing (nil/zero for classic circuits).
+	// Domain8 is the 8n coset domain custom-gate quotients need (degree-5
+	// S-box constraints exceed the classic 4n coset); QLk is the lookup
+	// selector, Tbl the range-table polynomial, QMimc/QPosF/QPosP the
+	// custom-gate selectors and KC0..KC2 the per-row round-constant
+	// columns.
+	Domain8                       *poly.Domain
+	QLk, Tbl, QMimc, QPosF, QPosP poly.Polynomial
+	KC0, KC1, KC2                 poly.Polynomial
+	extended, custom              bool
+	tableBits                     int
+	mds                           [3][3]fr.Element
+
 	// sigma maps each of the 3n wire slots to its permuted slot's field
 	// label; used when building the grand-product polynomial z.
 	sigmaLabel [][3]fr.Element // per-row labels for the three wires
@@ -57,6 +70,21 @@ type VerifyingKey struct {
 
 	QL, QR, QO, QM, QC kzg.Commitment
 	S1, S2, S3         kzg.Commitment
+
+	// Extended is set when the circuit uses lookups or custom gates: the
+	// proof then carries the M/H/S lookup polynomials and extra
+	// evaluations. Custom is set when next-row custom gates are present
+	// (the quotient is split into 6 pieces instead of 3).
+	Extended  bool
+	Custom    bool
+	TableBits int
+	// MDS is the Poseidon matrix the custom rounds multiply by; the
+	// verifier evaluates the round constraint at ζ and needs it.
+	MDS [3][3]fr.Element
+	// Commitments to the extension's preprocessed polynomials (the point
+	// at infinity when the corresponding feature is unused).
+	QLk, Tbl, QMimc, QPosF, QPosP kzg.Commitment
+	KC0, KC1, KC2                 kzg.Commitment
 
 	// G2 points of the SRS needed for pairing checks.
 	G2 [2]bn254.G2Affine
@@ -109,6 +137,19 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 	for n < uint64(len(cs.gates)) {
 		n <<= 1
 	}
+	extended := cs.hasLookup || cs.hasCustom
+	if cs.hasLookup {
+		// The range table lives on the domain itself: one row per value.
+		for n < uint64(1)<<cs.tableBits {
+			n <<= 1
+		}
+	}
+	if cs.hasCustom && uint64(len(cs.gates)) == n {
+		// A custom gate on the last domain row would read row 0 through
+		// the ω-shift; grow the domain so the next-row read always lands
+		// on a padding row instead.
+		n <<= 1
+	}
 	domain, err := poly.NewDomain(n)
 	if err != nil {
 		return nil, nil, fmt.Errorf("plonk: %w", err)
@@ -116,6 +157,14 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 	domain4, err := poly.NewDomain(4 * n)
 	if err != nil {
 		return nil, nil, fmt.Errorf("plonk: %w", err)
+	}
+	var domain8 *poly.Domain
+	if cs.hasCustom {
+		// Degree-5 S-box constraints push the quotient numerator past the
+		// 4n coset; custom-gate circuits evaluate on an 8n coset.
+		if domain8, err = poly.NewDomain(8 * n); err != nil {
+			return nil, nil, fmt.Errorf("plonk: %w", err)
+		}
 	}
 	if srs.MaxDegree() < int(n)+8 {
 		return nil, nil, fmt.Errorf("%w: srs supports degree %d, circuit needs %d",
@@ -131,6 +180,39 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 	qC := make([]fr.Element, n)
 	for i, g := range cs.gates {
 		qL[i], qR[i], qO[i], qM[i], qC[i] = g.QL, g.QR, g.QO, g.QM, g.QC
+	}
+
+	// Extension selectors: lookup selector, range table t_i = min(i, max),
+	// custom-gate selectors and the round-constant columns.
+	var qLk, tbl, qMimc, qPosF, qPosP, kc0, kc1, kc2 []fr.Element
+	if extended {
+		qLk = make([]fr.Element, n)
+		tbl = make([]fr.Element, n)
+		qMimc = make([]fr.Element, n)
+		qPosF = make([]fr.Element, n)
+		qPosP = make([]fr.Element, n)
+		kc0 = make([]fr.Element, n)
+		kc1 = make([]fr.Element, n)
+		kc2 = make([]fr.Element, n)
+		if cs.hasLookup {
+			copy(tbl, rangeTableValues(cs.tableBits, n))
+		}
+		one := fr.One()
+		for i, g := range cs.gates {
+			switch g.Kind {
+			case KindLookup:
+				qLk[i] = one
+			case KindMiMC:
+				qMimc[i] = one
+			case KindPoseidonFull:
+				qPosF[i] = one
+			case KindPoseidonPartial:
+				qPosP[i] = one
+			}
+			if g.Kind.isCustom() {
+				kc0[i], kc1[i], kc2[i] = g.K[0], g.K[1], g.K[2]
+			}
+		}
 	}
 
 	// Copy-constraint permutation over 3n slots. Slots sharing a variable
@@ -219,23 +301,62 @@ func Setup(cs *ConstraintSystem, srs *kzg.SRS) (*ProvingKey, *VerifyingKey, erro
 		nbPublic:   cs.nbPublic,
 		nbVars:     cs.nbVariables,
 	}
+	if extended {
+		pk.Domain8 = domain8
+		pk.extended = true
+		pk.custom = cs.hasCustom
+		pk.tableBits = cs.tableBits
+		pk.mds = cs.mds
+		pk.QLk = toPoly(qLk)
+		pk.Tbl = toPoly(tbl)
+		pk.QMimc = toPoly(qMimc)
+		pk.QPosF = toPoly(qPosF)
+		pk.QPosP = toPoly(qPosP)
+		pk.KC0 = toPoly(kc0)
+		pk.KC1 = toPoly(kc1)
+		pk.KC2 = toPoly(kc2)
+	}
 	if ifftErr != nil {
 		return nil, nil, ifftErr
 	}
 
 	vk := &VerifyingKey{
-		N:        n,
-		NbPublic: cs.nbPublic,
-		G2:       srs.G2,
-		K1:       k1,
-		K2:       k2,
+		N:         n,
+		NbPublic:  cs.nbPublic,
+		G2:        srs.G2,
+		K1:        k1,
+		K2:        k2,
+		Extended:  extended,
+		Custom:    cs.hasCustom,
+		TableBits: cs.tableBits,
+		MDS:       cs.mds,
 	}
-	// The eight preprocessed commitments are independent MSMs.
-	if err := commitParallel(srs,
-		[]poly.Polynomial{pk.QL, pk.QR, pk.QO, pk.QM, pk.QC, pk.S1, pk.S2, pk.S3},
-		[]*kzg.Commitment{&vk.QL, &vk.QR, &vk.QO, &vk.QM, &vk.QC, &vk.S1, &vk.S2, &vk.S3}); err != nil {
+	// The preprocessed commitments are independent MSMs.
+	polys := []poly.Polynomial{pk.QL, pk.QR, pk.QO, pk.QM, pk.QC, pk.S1, pk.S2, pk.S3}
+	cms := []*kzg.Commitment{&vk.QL, &vk.QR, &vk.QO, &vk.QM, &vk.QC, &vk.S1, &vk.S2, &vk.S3}
+	if extended {
+		polys = append(polys, pk.QLk, pk.Tbl, pk.QMimc, pk.QPosF, pk.QPosP, pk.KC0, pk.KC1, pk.KC2)
+		cms = append(cms, &vk.QLk, &vk.Tbl, &vk.QMimc, &vk.QPosF, &vk.QPosP, &vk.KC0, &vk.KC1, &vk.KC2)
+	}
+	if err := commitParallel(srs, polys, cms); err != nil {
 		return nil, nil, err
 	}
 	pk.VK = vk
 	return pk, vk, nil
+}
+
+// rangeTableValues returns the domain-evaluation vector of the range
+// table: t_i = i for i < 2^bits, then the last value repeated so padding
+// rows stay inside the table (their multiplicity simply stays 0).
+func rangeTableValues(bits int, n uint64) []fr.Element {
+	t := make([]fr.Element, n)
+	size := uint64(1) << bits
+	for i := uint64(0); i < n; i++ {
+		v := i
+		if v >= size {
+			v = size - 1
+		}
+		t[i] = fr.NewElement(v)
+	}
+	return t
 }

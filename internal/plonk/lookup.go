@@ -1,0 +1,280 @@
+package plonk
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// This file holds the machinery shared by the extended prover and verifier:
+// the point-wise evaluation of the aggregated constraint numerator (the
+// same formula runs on every coset point in the prover and once at ζ in
+// the verifier), and the LogUp witness builder.
+//
+// The lookup argument is the log-derivative ("LogUp") formulation: for the
+// range table T and the a-wire column a, with qLk the lookup selector and
+// M the multiplicity column, soundness follows from
+//
+//	Σ_i qLk_i/(β_L + a_i)  ==  Σ_i M_i/(β_L + T_i)
+//
+// which the proof establishes via a helper column H and a running sum S:
+//
+//	C3: H·(β_L+a)·(β_L+T) − qLk·(β_L+T) + M·(β_L+a) = 0
+//	C4: S(ωx) − S(x) − H(x) = 0
+//	C5: L_1(x)·S(x) = 0
+//
+// β_L is derived by the transcript after [M] is committed. Custom gates
+// (Poseidon/MiMC rounds) add constraints C6–C13 reading the next row's
+// wires through the ω-shift; their round constants live in the
+// preprocessed K columns and the Poseidon MDS matrix in the verifying key.
+
+// nbAlphaPowers is the number of α powers folding the constraint stack:
+// C0 gate, C1 perm, C2 L1 boundary, C3–C5 LogUp, C6–C8 Poseidon full
+// lanes, C9–C11 Poseidon partial lanes, C12–C13 MiMC.
+const nbAlphaPowers = 14
+
+// extPointVals carries every polynomial's value at one evaluation point.
+type extPointVals struct {
+	x                      fr.Element // the point itself
+	a, b, c                fr.Element
+	aw, bw, cw             fr.Element // wires at ω·x (next row)
+	z, zw                  fr.Element
+	ql, qr, qo, qm, qc, pi fr.Element
+	s1, s2, s3             fr.Element
+	m, h, s, sw            fr.Element // LogUp columns; sw = S(ω·x)
+	qlk, tbl               fr.Element
+	qmimc, qposf, qposp    fr.Element
+	k0, k1c, k2c           fr.Element // per-row round constants
+	l1                     fr.Element // L_1(x)
+}
+
+// extChallenges bundles the transcript challenges and fixed key data the
+// constraint evaluation needs.
+type extChallenges struct {
+	beta, gamma, betaL fr.Element
+	alphaPow           []fr.Element // α^0 … α^13
+	k1, k2             fr.Element   // permutation coset multipliers
+	mds                [3][3]fr.Element
+}
+
+// pow5 sets out = t^5.
+func pow5(out, t *fr.Element) {
+	var t2 fr.Element
+	t2.Square(t)
+	t2.Square(&t2)
+	out.Mul(&t2, t)
+}
+
+// extNumerator evaluates the aggregated constraint numerator
+// Σ_k α^k·C_k at one point. The prover divides this by Z_H on the coset;
+// the verifier compares it against t(ζ)·Z_H(ζ).
+func extNumerator(p *extPointVals, ch *extChallenges) fr.Element {
+	var acc, t, t2 fr.Element
+
+	// C0: gate + public input.
+	t.Mul(&p.qm, &p.a)
+	t.Mul(&t, &p.b)
+	acc.Add(&acc, &t)
+	t.Mul(&p.ql, &p.a)
+	acc.Add(&acc, &t)
+	t.Mul(&p.qr, &p.b)
+	acc.Add(&acc, &t)
+	t.Mul(&p.qo, &p.c)
+	acc.Add(&acc, &t)
+	acc.Add(&acc, &p.qc)
+	acc.Add(&acc, &p.pi)
+
+	// C1: permutation.
+	var p1, p2, f fr.Element
+	t.Mul(&ch.beta, &p.x)
+	f.Add(&p.a, &t)
+	f.Add(&f, &ch.gamma)
+	p1 = f
+	t.Mul(&ch.beta, &p.x)
+	t.Mul(&t, &ch.k1)
+	f.Add(&p.b, &t)
+	f.Add(&f, &ch.gamma)
+	p1.Mul(&p1, &f)
+	t.Mul(&ch.beta, &p.x)
+	t.Mul(&t, &ch.k2)
+	f.Add(&p.c, &t)
+	f.Add(&f, &ch.gamma)
+	p1.Mul(&p1, &f)
+	p1.Mul(&p1, &p.z)
+
+	t.Mul(&ch.beta, &p.s1)
+	f.Add(&p.a, &t)
+	f.Add(&f, &ch.gamma)
+	p2 = f
+	t.Mul(&ch.beta, &p.s2)
+	f.Add(&p.b, &t)
+	f.Add(&f, &ch.gamma)
+	p2.Mul(&p2, &f)
+	t.Mul(&ch.beta, &p.s3)
+	f.Add(&p.c, &t)
+	f.Add(&f, &ch.gamma)
+	p2.Mul(&p2, &f)
+	p2.Mul(&p2, &p.zw)
+
+	t.Sub(&p1, &p2)
+	t.Mul(&t, &ch.alphaPow[1])
+	acc.Add(&acc, &t)
+
+	// C2: L1·(z − 1).
+	one := fr.One()
+	t.Sub(&p.z, &one)
+	t.Mul(&t, &p.l1)
+	t.Mul(&t, &ch.alphaPow[2])
+	acc.Add(&acc, &t)
+
+	// C3: H·(βL+a)·(βL+T) − qLk·(βL+T) + M·(βL+a).
+	var la, lt fr.Element
+	la.Add(&ch.betaL, &p.a)
+	lt.Add(&ch.betaL, &p.tbl)
+	t.Mul(&p.h, &la)
+	t.Mul(&t, &lt)
+	t2.Mul(&p.qlk, &lt)
+	t.Sub(&t, &t2)
+	t2.Mul(&p.m, &la)
+	t.Add(&t, &t2)
+	t.Mul(&t, &ch.alphaPow[3])
+	acc.Add(&acc, &t)
+
+	// C4: S(ωx) − S(x) − H(x).
+	t.Sub(&p.sw, &p.s)
+	t.Sub(&t, &p.h)
+	t.Mul(&t, &ch.alphaPow[4])
+	acc.Add(&acc, &t)
+
+	// C5: L1·S.
+	t.Mul(&p.l1, &p.s)
+	t.Mul(&t, &ch.alphaPow[5])
+	acc.Add(&acc, &t)
+
+	// Custom gates. Wires and next-row wires as lanes.
+	w := [3]*fr.Element{&p.a, &p.b, &p.c}
+	nw := [3]*fr.Element{&p.aw, &p.bw, &p.cw}
+	k := [3]*fr.Element{&p.k0, &p.k1c, &p.k2c}
+
+	// C6–C8: Poseidon full round, lane l:
+	// qPosF·(Σ_j mds[l][j]·(w_j+K_j)^5 − w_l(ωx)).
+	var sb [3]fr.Element
+	for j := 0; j < 3; j++ {
+		t.Add(w[j], k[j])
+		pow5(&sb[j], &t)
+	}
+	for l := 0; l < 3; l++ {
+		var lane fr.Element
+		for j := 0; j < 3; j++ {
+			t.Mul(&ch.mds[l][j], &sb[j])
+			lane.Add(&lane, &t)
+		}
+		lane.Sub(&lane, nw[l])
+		lane.Mul(&lane, &p.qposf)
+		lane.Mul(&lane, &ch.alphaPow[6+l])
+		acc.Add(&acc, &lane)
+	}
+
+	// C9–C11: Poseidon partial round — only lane 0 is S-boxed.
+	var pb [3]fr.Element
+	t.Add(&p.a, &p.k0)
+	pow5(&pb[0], &t)
+	pb[1].Add(&p.b, &p.k1c)
+	pb[2].Add(&p.c, &p.k2c)
+	for l := 0; l < 3; l++ {
+		var lane fr.Element
+		for j := 0; j < 3; j++ {
+			t.Mul(&ch.mds[l][j], &pb[j])
+			lane.Add(&lane, &t)
+		}
+		lane.Sub(&lane, nw[l])
+		lane.Mul(&lane, &p.qposp)
+		lane.Mul(&lane, &ch.alphaPow[9+l])
+		acc.Add(&acc, &lane)
+	}
+
+	// C12: qMimc·(c − (a+b+K0)²);  C13: qMimc·(a(ωx) − c³·(a+b+K0)).
+	var u fr.Element
+	u.Add(&p.a, &p.b)
+	u.Add(&u, &p.k0)
+	t.Square(&u)
+	t.Sub(&p.c, &t)
+	t.Mul(&t, &p.qmimc)
+	t.Mul(&t, &ch.alphaPow[12])
+	acc.Add(&acc, &t)
+	t.Square(&p.c)
+	t.Mul(&t, &p.c)
+	t.Mul(&t, &u)
+	t.Sub(&p.aw, &t)
+	t.Mul(&t, &p.qmimc)
+	t.Mul(&t, &ch.alphaPow[13])
+	acc.Add(&acc, &t)
+
+	return acc
+}
+
+// buildMultiplicities counts, for each range-table value, how many lookup
+// rows carry it, returning the multiplicity column over the domain (table
+// value v lives on row v). Witness values outside the table are rejected —
+// this is the prover-side half of lookup soundness (the verifier-side half
+// is the C3/C4/C5 identity, which an out-of-table value cannot satisfy for
+// a random β_L).
+func buildMultiplicities(gates []Gate, witness []fr.Element, tableBits int, n uint64) ([]fr.Element, error) {
+	mV := make([]fr.Element, n)
+	if tableBits == 0 {
+		return mV, nil
+	}
+	size := uint64(1) << tableBits
+	if size > n {
+		return nil, fmt.Errorf("%w: 2^%d table exceeds domain size %d", ErrTableTooLarge, tableBits, n)
+	}
+	counts := make([]uint64, size)
+	for i, g := range gates {
+		if g.Kind != KindLookup {
+			continue
+		}
+		v, ok := witness[g.A].Uint64()
+		if !ok || v >= size {
+			return nil, fmt.Errorf("%w: gate %d", ErrLookupRange, i)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c != 0 {
+			mV[v] = fr.NewElement(c)
+		}
+	}
+	return mV, nil
+}
+
+// buildLogUpColumns computes the H and S evaluation vectors from the wire
+// column, multiplicities, table and lookup-selector rows, given β_L:
+//
+//	H_i = qLk_i/(β_L+a_i) − M_i/(β_L+T_i),  S_0 = 0, S_{i+1} = S_i + H_i.
+//
+// The two inversion batches dominate; everything else is linear.
+func buildLogUpColumns(gates []Gate, aV, mV, tblV []fr.Element, betaL fr.Element) (hV, sV []fr.Element) {
+	n := len(aV)
+	la := make([]fr.Element, n)
+	lt := make([]fr.Element, n)
+	for i := 0; i < n; i++ {
+		la[i].Add(&betaL, &aV[i])
+		lt[i].Add(&betaL, &tblV[i])
+	}
+	fr.BatchInvert(la)
+	fr.BatchInvert(lt)
+	hV = make([]fr.Element, n)
+	for i := 0; i < n; i++ {
+		var t fr.Element
+		if i < len(gates) && gates[i].Kind == KindLookup {
+			hV[i] = la[i]
+		}
+		t.Mul(&mV[i], &lt[i])
+		hV[i].Sub(&hV[i], &t)
+	}
+	sV = make([]fr.Element, n)
+	for i := 0; i < n-1; i++ {
+		sV[i+1].Add(&sV[i], &hV[i])
+	}
+	return hV, sV
+}

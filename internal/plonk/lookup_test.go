@@ -1,0 +1,374 @@
+package plonk
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// buildLookupCircuit returns a circuit asserting each of vals lies in
+// [0, 2^bits) via one lookup row per value, with one public input.
+func buildLookupCircuit(bits int, vals []uint64) (*ConstraintSystem, []fr.Element) {
+	cs := NewConstraintSystem(1)
+	if err := cs.UseRangeTable(bits); err != nil {
+		panic(err)
+	}
+	witness := []fr.Element{fr.NewElement(7)}
+	for _, v := range vals {
+		idx := cs.NewVariable()
+		witness = append(witness, fr.NewElement(v))
+		cs.MustAddGate(Gate{Kind: KindLookup, A: idx, B: idx, C: idx})
+	}
+	return cs, witness
+}
+
+func TestLookupProveVerify(t *testing.T) {
+	cs, witness := buildLookupCircuit(8, []uint64{0, 1, 42, 42, 255, 128, 42})
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vk.Extended || vk.Custom {
+		t.Fatalf("want lookup-only key, got extended=%v custom=%v", vk.Extended, vk.Custom)
+	}
+	if vk.N != 256 {
+		t.Fatalf("domain must cover the table: n=%d", vk.N)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.TExtra) != 0 {
+		t.Fatalf("lookup-only proof must keep 3 quotient pieces, got %d extra", len(proof.TExtra))
+	}
+	if err := Verify(vk, proof, witness[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong public input must fail.
+	if err := Verify(vk, proof, []fr.Element{fr.NewElement(8)}); err == nil {
+		t.Fatal("wrong public input accepted")
+	}
+}
+
+func TestLookupOutOfTable(t *testing.T) {
+	cs, witness := buildLookupCircuit(8, []uint64{3, 256})
+	if err := cs.IsSatisfied(witness); !errors.Is(err, ErrLookupRange) {
+		t.Fatalf("IsSatisfied: got %v, want ErrLookupRange", err)
+	}
+	pk, _, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prove(pk, witness); !errors.Is(err, ErrLookupRange) {
+		t.Fatalf("Prove: got %v, want ErrLookupRange", err)
+	}
+}
+
+// mimcPow7 computes (t+k+rc)^7 like the MiMC round function.
+func mimcPow7(t, k, rc fr.Element) fr.Element {
+	var u, u2, u4, out fr.Element
+	u.Add(&t, &k)
+	u.Add(&u, &rc)
+	u2.Square(&u)
+	u4.Square(&u2)
+	out.Mul(&u4, &u2)
+	out.Mul(&out, &u)
+	return out
+}
+
+// buildMiMCCustomCircuit chains `rounds` MiMC rounds t ← (t+k+rc)^7 as one
+// custom gate per round, closing with an arithmetic gate pinning the final
+// state to the public input.
+func buildMiMCCustomCircuit(rounds int) (*ConstraintSystem, []fr.Element) {
+	var tv, k fr.Element
+	tv = fr.NewElement(13)
+	k = fr.NewElement(77)
+
+	// First compute the expected chain to expose the result publicly.
+	state := tv
+	rcs := make([]fr.Element, rounds)
+	for r := 0; r < rounds; r++ {
+		rcs[r] = fr.NewElement(uint64(1000 + r))
+		state = mimcPow7(state, k, rcs[r])
+	}
+
+	cs := NewConstraintSystem(1)
+	witness := []fr.Element{state} // public: final state
+	newVar := func(v fr.Element) int {
+		idx := cs.NewVariable()
+		witness = append(witness, v)
+		return idx
+	}
+	tIdx := newVar(tv)
+	kIdx := newVar(k)
+	cur := tv
+	for r := 0; r < rounds; r++ {
+		var u, sq fr.Element
+		u.Add(&cur, &k)
+		u.Add(&u, &rcs[r])
+		sq.Square(&u)
+		sqIdx := newVar(sq)
+		cs.MustAddGate(Gate{Kind: KindMiMC, K: [3]fr.Element{rcs[r]}, A: tIdx, B: kIdx, C: sqIdx})
+		cur = mimcPow7(cur, k, rcs[r])
+		tIdx = newVar(cur)
+	}
+	// Closing row: the last round's next-row read lands here (only the
+	// a-wire matters to MiMC), and the arithmetic constraint pins the
+	// chain output to the public input.
+	one := fr.One()
+	var negOne fr.Element
+	negOne.Neg(&one)
+	cs.MustAddGate(Gate{QL: one, QR: negOne, A: tIdx, B: 0, C: tIdx})
+	return cs, witness
+}
+
+func TestMiMCCustomGateProveVerify(t *testing.T) {
+	cs, witness := buildMiMCCustomCircuit(5)
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vk.Custom {
+		t.Fatal("want custom-gate key")
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.TExtra) != 3 {
+		t.Fatalf("custom-gate proof must carry 6 quotient pieces, got %d extra", len(proof.TExtra))
+	}
+	if err := Verify(vk, proof, witness[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupted chain value must be caught by both the reference
+	// semantics and the prover.
+	bad := append([]fr.Element(nil), witness...)
+	bad[4].Add(&bad[4], &bad[0]) // an intermediate u² value
+	if err := cs.IsSatisfied(bad); err == nil {
+		t.Fatal("corrupted witness satisfied reference semantics")
+	}
+	if _, err := Prove(pk, bad); !errors.Is(err, ErrUnsatisfied) {
+		t.Fatalf("Prove on corrupted witness: got %v, want ErrUnsatisfied", err)
+	}
+}
+
+// testMDS is an arbitrary invertible matrix: gate semantics don't care
+// which MDS is used as long as prover, verifier and reference agree.
+func testMDS() [3][3]fr.Element {
+	var m [3][3]fr.Element
+	for l := 0; l < 3; l++ {
+		for j := 0; j < 3; j++ {
+			m[l][j] = fr.NewElement(uint64(l*3 + j + 2))
+		}
+	}
+	m[0][0] = fr.NewElement(17)
+	return m
+}
+
+func poseidonRoundRef(mds [3][3]fr.Element, w, k [3]fr.Element, full bool) [3]fr.Element {
+	var sb [3]fr.Element
+	for j := 0; j < 3; j++ {
+		var t fr.Element
+		t.Add(&w[j], &k[j])
+		if full || j == 0 {
+			var t2 fr.Element
+			t2.Square(&t)
+			t2.Square(&t2)
+			t.Mul(&t2, &t)
+		}
+		sb[j] = t
+	}
+	var out [3]fr.Element
+	for l := 0; l < 3; l++ {
+		for j := 0; j < 3; j++ {
+			var t fr.Element
+			t.Mul(&mds[l][j], &sb[j])
+			out[l].Add(&out[l], &t)
+		}
+	}
+	return out
+}
+
+// buildPoseidonCustomCircuit alternates full and partial rounds, one row
+// each, and pins the first output lane to the public input.
+func buildPoseidonCustomCircuit(rounds int) (*ConstraintSystem, []fr.Element) {
+	mds := testMDS()
+	state := [3]fr.Element{fr.NewElement(3), fr.NewElement(4), fr.NewElement(5)}
+	keys := make([][3]fr.Element, rounds)
+	kinds := make([]GateKind, rounds)
+	states := make([][3]fr.Element, rounds+1)
+	states[0] = state
+	for r := 0; r < rounds; r++ {
+		for j := 0; j < 3; j++ {
+			keys[r][j] = fr.NewElement(uint64(100*r + 10*j + 1))
+		}
+		kinds[r] = KindPoseidonFull
+		if r%2 == 1 {
+			kinds[r] = KindPoseidonPartial
+		}
+		states[r+1] = poseidonRoundRef(mds, states[r], keys[r], kinds[r] == KindPoseidonFull)
+	}
+
+	cs := NewConstraintSystem(1)
+	cs.SetPoseidonMDS(mds)
+	witness := []fr.Element{states[rounds][0]}
+	newVar := func(v fr.Element) int {
+		idx := cs.NewVariable()
+		witness = append(witness, v)
+		return idx
+	}
+	var rowVars [3]int
+	for j := 0; j < 3; j++ {
+		rowVars[j] = newVar(states[0][j])
+	}
+	for r := 0; r < rounds; r++ {
+		cs.MustAddGate(Gate{Kind: kinds[r], K: keys[r], A: rowVars[0], B: rowVars[1], C: rowVars[2]})
+		for j := 0; j < 3; j++ {
+			rowVars[j] = newVar(states[r+1][j])
+		}
+	}
+	// Closing no-op row: the last round's next-row read needs all three
+	// lanes of the final state here. Then pin lane 0 to the public input.
+	cs.MustAddGate(Gate{A: rowVars[0], B: rowVars[1], C: rowVars[2]})
+	one := fr.One()
+	var negOne fr.Element
+	negOne.Neg(&one)
+	cs.MustAddGate(Gate{QL: one, QR: negOne, A: rowVars[0], B: 0, C: rowVars[0]})
+	return cs, witness
+}
+
+func TestPoseidonCustomGateProveVerify(t *testing.T) {
+	cs, witness := buildPoseidonCustomCircuit(6)
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, witness[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildMixedCircuit combines arithmetic, lookup and custom-gate rows in
+// one circuit — the shape the ML apps compile to.
+func buildMixedCircuit() (*ConstraintSystem, []fr.Element) {
+	cs, witness := buildMiMCCustomCircuit(3)
+	if err := cs.UseRangeTable(6); err != nil {
+		panic(err)
+	}
+	for _, v := range []uint64{0, 63, 17, 17} {
+		idx := cs.NewVariable()
+		witness = append(witness, fr.NewElement(v))
+		cs.MustAddGate(Gate{Kind: KindLookup, A: idx, B: idx, C: idx})
+	}
+	return cs, witness
+}
+
+func TestMixedLookupCustomProveVerify(t *testing.T) {
+	cs, witness := buildMixedCircuit()
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, witness[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtendedProofTamperRejected flips each extension component of a
+// valid lookup proof and checks the verifier notices: forged
+// multiplicities, helper columns, running sums and their evaluations must
+// all be rejected (the BatchVerify side is covered in batch tests).
+func TestExtendedProofTamperRejected(t *testing.T) {
+	cs, witness := buildLookupCircuit(8, []uint64{9, 200, 9})
+	pk, vk, err := Setup(cs, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	public := witness[:1]
+	if err := Verify(vk, proof, public); err != nil {
+		t.Fatal(err)
+	}
+
+	g := proof.A // any valid curve point ≠ the originals
+	tamper := []struct {
+		name string
+		do   func(p *Proof)
+	}{
+		{"M commitment", func(p *Proof) { p.M = g }},
+		{"H commitment", func(p *Proof) { p.H = g }},
+		{"S commitment", func(p *Proof) { p.S = g }},
+		{"M eval", func(p *Proof) { p.Evals.Ext.M.Add(&p.Evals.Ext.M, &p.Evals.A) }},
+		{"H eval", func(p *Proof) { p.Evals.Ext.H.Add(&p.Evals.Ext.H, &p.Evals.A) }},
+		{"S eval", func(p *Proof) { p.Evals.Ext.S.Add(&p.Evals.Ext.S, &p.Evals.A) }},
+		{"SOmega eval", func(p *Proof) { p.Evals.Ext.SOmega.Add(&p.Evals.Ext.SOmega, &p.Evals.A) }},
+		{"table eval", func(p *Proof) { p.Evals.Ext.Tbl.Add(&p.Evals.Ext.Tbl, &p.Evals.A) }},
+		{"lookup selector eval", func(p *Proof) { p.Evals.Ext.QLk.Add(&p.Evals.Ext.QLk, &p.Evals.A) }},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := *proof
+			ext := *proof.Evals.Ext
+			bad.Evals.Ext = &ext
+			tc.do(&bad)
+			if err := Verify(vk, &bad, public); err == nil {
+				t.Fatalf("tampered proof (%s) accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestProofShapeMismatch: classic proofs must not verify against extended
+// keys and vice versa.
+func TestProofShapeMismatch(t *testing.T) {
+	csC, wC := buildMulAddCircuit()
+	pkC, vkC, err := Setup(csC, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := Prove(pkC, wC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csL, wL := buildLookupCircuit(8, []uint64{1, 2})
+	pkL, vkL, err := Setup(csL, testSRSOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Prove(pkL, wL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vkL, classic, wL[:1]); !errors.Is(err, ErrProofShape) {
+		t.Fatalf("classic proof vs extended key: got %v, want ErrProofShape", err)
+	}
+	if err := Verify(vkC, ext, wC[:2]); !errors.Is(err, ErrProofShape) {
+		t.Fatalf("extended proof vs classic key: got %v, want ErrProofShape", err)
+	}
+}

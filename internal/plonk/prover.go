@@ -10,6 +10,11 @@ import (
 	"github.com/zkdet/zkdet/internal/transcript"
 )
 
+// randScalar produces the prover's blinding scalars. It is a variable so
+// the bit-identity property tests can pin proofs by injecting a seeded
+// source; production code never reassigns it.
+var randScalar = fr.MustRandom
+
 // commitParallel runs independent KZG commitments concurrently, writing
 // each result through its output pointer. The fan-out is bounded by the
 // repo-wide worker pool (GOMAXPROCS) like every other prover hot loop, so
@@ -36,13 +41,20 @@ func commitParallel(srs *kzg.SRS, ps []poly.Polynomial, outs []*kzg.Commitment) 
 
 // Proof is a Plonk proof: 9 G1 points and the openings of every committed
 // polynomial at the challenge ζ (plus z at ζω). Its size is independent of
-// the circuit.
+// the circuit. Proofs for lookup/custom-gate circuits additionally carry
+// the three LogUp polynomials M (multiplicities), H (per-row log-derivative
+// helper) and S (running sum), plus up to three extra quotient pieces.
 type Proof struct {
 	A, B, C           kzg.Commitment
 	Z                 kzg.Commitment
 	TLo, TMid, THi    kzg.Commitment
 	WZeta, WZetaOmega kzg.Commitment
-	Evals             ProofEvals
+	// Extension commitments; zero (infinity) for classic proofs.
+	M, H, S kzg.Commitment
+	// TExtra holds quotient pieces 4–6 when custom gates push the
+	// quotient degree past 3n.
+	TExtra []kzg.Commitment
+	Evals  ProofEvals
 }
 
 // ProofEvals carries the claimed polynomial evaluations at ζ (and z at ζω).
@@ -51,6 +63,38 @@ type ProofEvals struct {
 	QL, QR, QO, QM, QC fr.Element
 	S1, S2, S3         fr.Element
 	TLo, TMid, THi     fr.Element
+	// Ext carries the extension's evaluations; nil for classic proofs.
+	Ext *ExtEvals
+}
+
+// ExtEvals are the extra openings a lookup/custom-gate proof carries: the
+// LogUp polynomials at ζ, the shifted openings at ζω (custom gates read
+// the next row, the running sum is checked via S(ωx)), the extension
+// selectors and round-constant columns at ζ, and the extra quotient
+// pieces at ζ.
+type ExtEvals struct {
+	M, H, S                        fr.Element
+	SOmega, AOmega, BOmega, COmega fr.Element
+	QLk, Tbl, QMimc, QPosF, QPosP  fr.Element
+	K0, K1, K2                     fr.Element
+	TExtra                         []fr.Element
+}
+
+// zetaList returns the extension evaluations at ζ in the canonical folding
+// order, appended after the classic evalList.
+func (e *ExtEvals) zetaList() []fr.Element {
+	out := []fr.Element{
+		e.M, e.H, e.S,
+		e.QLk, e.Tbl, e.QMimc, e.QPosF, e.QPosP,
+		e.K0, e.K1, e.K2,
+	}
+	return append(out, e.TExtra...)
+}
+
+// omegaList returns the evaluations opened at ζω beyond the classic
+// z(ζω), in the canonical folding order.
+func (e *ExtEvals) omegaList() []fr.Element {
+	return []fr.Element{e.SOmega, e.AOmega, e.BOmega, e.COmega}
 }
 
 // evalList returns the evaluations at ζ in the canonical folding order used
@@ -65,7 +109,9 @@ func (e *ProofEvals) evalList() []fr.Element {
 }
 
 // bindTranscript absorbs the verifying key and public inputs so challenges
-// are bound to the exact statement being proved.
+// are bound to the exact statement being proved. Extended keys absorb the
+// extension data after the classic fields, so classic transcripts are
+// byte-identical to the pre-lookup prover.
 func bindTranscript(t *transcript.Transcript, vk *VerifyingKey, public []fr.Element) {
 	n := fr.NewElement(vk.N)
 	t.AppendScalar("domain-size", &n)
@@ -76,6 +122,23 @@ func bindTranscript(t *transcript.Transcript, vk *VerifyingKey, public []fr.Elem
 		t.AppendPoint("vk", &cc)
 	}
 	t.AppendScalars("public-inputs", public)
+	if vk.Extended {
+		flags := uint64(1)
+		if vk.Custom {
+			flags |= 2
+		}
+		fl := fr.NewElement(flags)
+		t.AppendScalar("ext-flags", &fl)
+		tb := fr.NewElement(uint64(vk.TableBits))
+		t.AppendScalar("table-bits", &tb)
+		for _, c := range []kzg.Commitment{vk.QLk, vk.Tbl, vk.QMimc, vk.QPosF, vk.QPosP, vk.KC0, vk.KC1, vk.KC2} {
+			cc := c
+			t.AppendPoint("vk-ext", &cc)
+		}
+		for l := 0; l < 3; l++ {
+			t.AppendScalars("mds", vk.MDS[l][:])
+		}
+	}
 }
 
 // coset4 returns the preprocessed 4n coset domain, building it only for
@@ -122,10 +185,22 @@ func foldPolys(ps []poly.Polynomial, coeffs []fr.Element) poly.Polynomial {
 // circuit. The witness assigns every variable; its first NbPublic entries
 // must equal the public inputs passed to Verify.
 //
+// Circuits using lookups or custom gates take the extended path; all
+// others run the classic prover, byte-for-byte identical to the
+// pre-lookup implementation (pinned by TestClassicProverBitIdentity).
+func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
+	if pk.extended {
+		return proveExtended(pk, witness)
+	}
+	return proveClassic(pk, witness)
+}
+
+// proveClassic is the original evaluate-everything Plonk prover.
+//
 // Every O(n) and O(4n) loop below is range-split across the bounded worker
 // pool; the only serial remainders are the grand-product prefix scan and
 // the transcript, which are inherently sequential.
-func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
+func proveClassic(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	if len(witness) != pk.nbVars {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrWitnessLength, len(witness), pk.nbVars)
 	}
@@ -168,7 +243,7 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 		if err := pk.Domain.IFFT(p[:n]); err != nil {
 			return nil, err
 		}
-		b1, b2 := fr.MustRandom(), fr.MustRandom()
+		b1, b2 := randScalar(), randScalar()
 		// + (b1 + b2·X)·(X^n - 1)
 		p[0].Sub(&p[0], &b1)
 		p[1].Sub(&p[1], &b2)
@@ -262,7 +337,7 @@ func Prove(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
 	if err := pk.Domain.IFFT(zPoly[:n]); err != nil {
 		return nil, err
 	}
-	zb1, zb2, zb3 := fr.MustRandom(), fr.MustRandom(), fr.MustRandom()
+	zb1, zb2, zb3 := randScalar(), randScalar(), randScalar()
 	zPoly[0].Sub(&zPoly[0], &zb1)
 	zPoly[1].Sub(&zPoly[1], &zb2)
 	zPoly[2].Sub(&zPoly[2], &zb3)

@@ -1,0 +1,400 @@
+package plonk
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/parallel"
+	"github.com/zkdet/zkdet/internal/poly"
+	"github.com/zkdet/zkdet/internal/transcript"
+)
+
+// proveExtended is the prover for circuits with lookups and/or custom
+// gates. It follows the classic five-round flow with three insertions:
+// the multiplicity commitment [M] before β/γ (so the lookup challenge β_L
+// can respond to it), the LogUp columns [H], [S] alongside [z], and — for
+// custom-gate circuits — a quotient evaluated on an 8n coset split into 6
+// pieces instead of 3. Everything else (blinding shape, single-MSM
+// batched opening, transcript labels for the classic prefix) is shared.
+func proveExtended(pk *ProvingKey, witness []fr.Element) (*Proof, error) {
+	if len(witness) != pk.nbVars {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrWitnessLength, len(witness), pk.nbVars)
+	}
+	n := pk.Domain.N
+	nInt := int(n)
+	public := make([]fr.Element, pk.nbPublic)
+	copy(public, witness[:pk.nbPublic])
+
+	// Wire value vectors over the domain rows.
+	aV := make([]fr.Element, n)
+	bV := make([]fr.Element, n)
+	cV := make([]fr.Element, n)
+	parallel.Execute(nInt, func(start, end int) {
+		for i := start; i < end; i++ {
+			var g Gate // padding rows wire to variable 0 with all selectors zero
+			if i < len(pk.gates) {
+				g = pk.gates[i]
+			}
+			aV[i] = witness[g.A]
+			bV[i] = witness[g.B]
+			cV[i] = witness[g.C]
+		}
+	})
+
+	// Public-input polynomial: PI(ω^i) = -x_i.
+	piPoly := make(poly.Polynomial, n)
+	for i := range public {
+		piPoly[i].Neg(&public[i])
+	}
+	if err := pk.Domain.IFFT(piPoly); err != nil {
+		return nil, err
+	}
+
+	// blind adds nbBlinds random coefficients times (X^n − 1) to the
+	// interpolation of evals, hiding as many evaluations of the
+	// polynomial outside the domain.
+	blind := func(evals []fr.Element, nbBlinds int) (poly.Polynomial, error) {
+		p := make(poly.Polynomial, int(n)+nbBlinds)
+		copy(p, evals)
+		if err := pk.Domain.IFFT(p[:n]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < nbBlinds; j++ {
+			bj := randScalar()
+			p[j].Sub(&p[j], &bj)
+			p[int(n)+j].Add(&p[int(n)+j], &bj)
+		}
+		return p, nil
+	}
+
+	// Round 1: blinded wire polynomials, their commitments, and the
+	// lookup multiplicity polynomial [M] (committed before β_L exists).
+	aPoly, err := blind(aV, 2)
+	if err != nil {
+		return nil, err
+	}
+	bPoly, err := blind(bV, 2)
+	if err != nil {
+		return nil, err
+	}
+	cPoly, err := blind(cV, 2)
+	if err != nil {
+		return nil, err
+	}
+	mV, err := buildMultiplicities(pk.gates, witness, pk.tableBits, n)
+	if err != nil {
+		return nil, err
+	}
+	mPoly, err := blind(mV, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	proof := &Proof{Evals: ProofEvals{Ext: &ExtEvals{}}}
+	if err = commitParallel(pk.SRS,
+		[]poly.Polynomial{aPoly, bPoly, cPoly, mPoly},
+		[]*kzg.Commitment{&proof.A, &proof.B, &proof.C, &proof.M}); err != nil {
+		return nil, err
+	}
+
+	tr := transcript.New("zkdet/plonk")
+	bindTranscript(tr, pk.VK, public)
+	tr.AppendPoint("a", &proof.A)
+	tr.AppendPoint("b", &proof.B)
+	tr.AppendPoint("c", &proof.C)
+	tr.AppendPoint("m", &proof.M)
+	beta := tr.ChallengeScalar("beta")
+	gamma := tr.ChallengeScalar("gamma")
+	betaL := tr.ChallengeScalar("beta_l")
+
+	// Round 2: permutation grand product z, and the LogUp helper and
+	// running-sum columns H, S (which need β_L).
+	omega := pk.Domain.Elements()
+	k1 := fr.NewElement(permK1)
+	k2 := fr.NewElement(permK2)
+	nums := make([]fr.Element, n)
+	dens := make([]fr.Element, n)
+	parallel.Execute(nInt, func(start, end int) {
+		for i := start; i < end; i++ {
+			var f1, f2, f3, t fr.Element
+			f1.Mul(&beta, &omega[i])
+			f1.Add(&f1, &aV[i])
+			f1.Add(&f1, &gamma)
+			t.Mul(&beta, &omega[i])
+			t.Mul(&t, &k1)
+			f2.Add(&bV[i], &t)
+			f2.Add(&f2, &gamma)
+			t.Mul(&beta, &omega[i])
+			t.Mul(&t, &k2)
+			f3.Add(&cV[i], &t)
+			f3.Add(&f3, &gamma)
+			nums[i].Mul(&f1, &f2)
+			nums[i].Mul(&nums[i], &f3)
+
+			lbl := pk.sigmaLabel[i]
+			t.Mul(&beta, &lbl[0])
+			f1.Add(&aV[i], &t)
+			f1.Add(&f1, &gamma)
+			t.Mul(&beta, &lbl[1])
+			f2.Add(&bV[i], &t)
+			f2.Add(&f2, &gamma)
+			t.Mul(&beta, &lbl[2])
+			f3.Add(&cV[i], &t)
+			f3.Add(&f3, &gamma)
+			dens[i].Mul(&f1, &f2)
+			dens[i].Mul(&dens[i], &f3)
+		}
+	})
+	fr.BatchInvert(dens)
+	zV := make([]fr.Element, n)
+	zV[0] = fr.One()
+	for i := 0; i < nInt-1; i++ {
+		var step fr.Element
+		step.Mul(&nums[i], &dens[i])
+		zV[i+1].Mul(&zV[i], &step)
+	}
+	zPoly, err := blind(zV, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	tblV := rangeTableValues(pk.tableBits, n)
+	hV, sV := buildLogUpColumns(pk.gates, aV, mV, tblV, betaL)
+	// The LogUp telescoping sum must close: S_{n-1} + H_{n-1} wraps to
+	// S_0 = 0. If it doesn't, some lookup left the table.
+	var total fr.Element
+	total.Add(&sV[n-1], &hV[n-1])
+	if !total.IsZero() {
+		return nil, ErrUnsatisfied
+	}
+	hPoly, err := blind(hV, 2)
+	if err != nil {
+		return nil, err
+	}
+	sPoly, err := blind(sV, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	if err = commitParallel(pk.SRS,
+		[]poly.Polynomial{zPoly, hPoly, sPoly},
+		[]*kzg.Commitment{&proof.Z, &proof.H, &proof.S}); err != nil {
+		return nil, err
+	}
+	tr.AppendPoint("z", &proof.Z)
+	tr.AppendPoint("h", &proof.H)
+	tr.AppendPoint("s", &proof.S)
+	alpha := tr.ChallengeScalar("alpha")
+
+	// Round 3: quotient. Custom gates carry degree-5 S-boxes, pushing the
+	// numerator past the 4n coset; they evaluate on 8n and split t into 6
+	// pieces. Lookup-only circuits stay on the classic 4n/3-piece shape.
+	domainE := pk.Domain4
+	nbPieces := 3
+	if pk.custom {
+		domainE = pk.Domain8
+		nbPieces = 6
+	}
+	if domainE == nil {
+		return nil, fmt.Errorf("plonk: proving key missing coset domain")
+	}
+	big := domainE.N
+	factor := big / n // coset index step corresponding to one ω step
+
+	cosetInputs := []poly.Polynomial{
+		aPoly, bPoly, cPoly, zPoly,
+		pk.QL, pk.QR, pk.QO, pk.QM, pk.QC,
+		pk.S1, pk.S2, pk.S3, piPoly,
+		mPoly, hPoly, sPoly,
+		pk.QLk, pk.Tbl, pk.QMimc, pk.QPosF, pk.QPosP,
+		pk.KC0, pk.KC1, pk.KC2,
+	}
+	cosetOutputs := make([][]fr.Element, len(cosetInputs))
+	cosetErrs := make([]error, len(cosetInputs))
+	parallel.Execute(len(cosetInputs), func(start, end int) {
+		for i := start; i < end; i++ {
+			e := make([]fr.Element, big)
+			copy(e, cosetInputs[i])
+			cosetErrs[i] = domainE.FFTCoset(e)
+			cosetOutputs[i] = e
+		}
+	})
+	for _, cerr := range cosetErrs {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+
+	elemsE := domainE.Elements()
+	xs := make([]fr.Element, big)
+	shift := fr.NewElement(fr.MultiplicativeGenerator)
+	parallel.Execute(int(big), func(start, end int) {
+		for i := start; i < end; i++ {
+			xs[i].Mul(&elemsE[i], &shift)
+		}
+	})
+	var gN fr.Element
+	gN.ExpUint64(&shift, n)
+	wEn := domainE.Element(n) // primitive (big/n)-th root of unity
+	one := fr.One()
+	zh := make([]fr.Element, factor)
+	cur := gN
+	for i := uint64(0); i < factor; i++ {
+		zh[i].Sub(&cur, &one)
+		cur.Mul(&cur, &wEn)
+	}
+	zhInv := make([]fr.Element, factor)
+	copy(zhInv, zh)
+	fr.BatchInvert(zhInv)
+	l1Den := make([]fr.Element, big)
+	nEl := fr.NewElement(n)
+	parallel.Execute(int(big), func(start, end int) {
+		for i := start; i < end; i++ {
+			l1Den[i].Sub(&xs[i], &one)
+			l1Den[i].Mul(&l1Den[i], &nEl)
+		}
+	})
+	fr.BatchInvert(l1Den)
+
+	ch := &extChallenges{
+		beta: beta, gamma: gamma, betaL: betaL,
+		alphaPow: fr.Powers(&alpha, nbAlphaPowers),
+		k1:       k1, k2: k2,
+		mds: pk.mds,
+	}
+	tEvals := make([]fr.Element, big)
+	parallel.Execute(int(big), func(start, end int) {
+		var pv extPointVals
+		for ii := start; ii < end; ii++ {
+			i := uint64(ii)
+			j := (i + factor) % big
+			pv = extPointVals{
+				x: xs[i],
+				a: cosetOutputs[0][i], b: cosetOutputs[1][i], c: cosetOutputs[2][i],
+				aw: cosetOutputs[0][j], bw: cosetOutputs[1][j], cw: cosetOutputs[2][j],
+				z: cosetOutputs[3][i], zw: cosetOutputs[3][j],
+				ql: cosetOutputs[4][i], qr: cosetOutputs[5][i], qo: cosetOutputs[6][i],
+				qm: cosetOutputs[7][i], qc: cosetOutputs[8][i],
+				s1: cosetOutputs[9][i], s2: cosetOutputs[10][i], s3: cosetOutputs[11][i],
+				pi: cosetOutputs[12][i],
+				m:  cosetOutputs[13][i], h: cosetOutputs[14][i],
+				s: cosetOutputs[15][i], sw: cosetOutputs[15][j],
+				qlk: cosetOutputs[16][i], tbl: cosetOutputs[17][i],
+				qmimc: cosetOutputs[18][i], qposf: cosetOutputs[19][i], qposp: cosetOutputs[20][i],
+				k0: cosetOutputs[21][i], k1c: cosetOutputs[22][i], k2c: cosetOutputs[23][i],
+			}
+			pv.l1.Mul(&zh[i%factor], &l1Den[i])
+			num := extNumerator(&pv, ch)
+			tEvals[i].Mul(&num, &zhInv[i%factor])
+		}
+	})
+	tPoly := make(poly.Polynomial, big)
+	copy(tPoly, tEvals)
+	if err := domainE.IFFTCoset(tPoly); err != nil {
+		return nil, err
+	}
+
+	// Degree bound: quotient degree is ≤ 3n+5 for lookup-only circuits
+	// and ≤ 5n+5 with custom gates; any higher coefficient means the
+	// witness failed some constraint.
+	maxLen := uint64(nbPieces-1)*n + n + 6
+	for i := maxLen; i < big; i++ {
+		if !tPoly[i].IsZero() {
+			return nil, ErrUnsatisfied
+		}
+	}
+	pieces := make([]poly.Polynomial, nbPieces)
+	for p := 0; p < nbPieces-1; p++ {
+		pieces[p] = poly.Polynomial(tPoly[uint64(p)*n : uint64(p+1)*n])
+	}
+	pieces[nbPieces-1] = poly.Polynomial(tPoly[uint64(nbPieces-1)*n : maxLen])
+
+	pieceCms := make([]kzg.Commitment, nbPieces)
+	pieceOuts := make([]*kzg.Commitment, nbPieces)
+	for p := range pieceCms {
+		pieceOuts[p] = &pieceCms[p]
+	}
+	if err = commitParallel(pk.SRS, pieces, pieceOuts); err != nil {
+		return nil, err
+	}
+	proof.TLo, proof.TMid, proof.THi = pieceCms[0], pieceCms[1], pieceCms[2]
+	proof.TExtra = pieceCms[3:]
+	tr.AppendPoint("t_lo", &proof.TLo)
+	tr.AppendPoint("t_mid", &proof.TMid)
+	tr.AppendPoint("t_hi", &proof.THi)
+	for p := 3; p < nbPieces; p++ {
+		tr.AppendPoint(fmt.Sprintf("t_%d", p), &pieceCms[p])
+	}
+	zeta := tr.ChallengeScalar("zeta")
+
+	// Round 4: evaluations at ζ, plus the ω-shifted openings at ζω the
+	// extension constraints read (S for the running sum, a/b/c for the
+	// next-row custom gates).
+	var zetaOmega fr.Element
+	zetaOmega.Mul(&zeta, &pk.Domain.Gen)
+	ev := &proof.Evals
+	ex := ev.Ext
+	ex.TExtra = make([]fr.Element, nbPieces-3)
+	evalTasks := []struct {
+		p   poly.Polynomial
+		at  *fr.Element
+		out *fr.Element
+	}{
+		{aPoly, &zeta, &ev.A}, {bPoly, &zeta, &ev.B}, {cPoly, &zeta, &ev.C},
+		{zPoly, &zeta, &ev.Z}, {zPoly, &zetaOmega, &ev.ZOmega},
+		{pk.QL, &zeta, &ev.QL}, {pk.QR, &zeta, &ev.QR}, {pk.QO, &zeta, &ev.QO},
+		{pk.QM, &zeta, &ev.QM}, {pk.QC, &zeta, &ev.QC},
+		{pk.S1, &zeta, &ev.S1}, {pk.S2, &zeta, &ev.S2}, {pk.S3, &zeta, &ev.S3},
+		{pieces[0], &zeta, &ev.TLo}, {pieces[1], &zeta, &ev.TMid}, {pieces[2], &zeta, &ev.THi},
+		{mPoly, &zeta, &ex.M}, {hPoly, &zeta, &ex.H}, {sPoly, &zeta, &ex.S},
+		{sPoly, &zetaOmega, &ex.SOmega},
+		{aPoly, &zetaOmega, &ex.AOmega}, {bPoly, &zetaOmega, &ex.BOmega}, {cPoly, &zetaOmega, &ex.COmega},
+		{pk.QLk, &zeta, &ex.QLk}, {pk.Tbl, &zeta, &ex.Tbl},
+		{pk.QMimc, &zeta, &ex.QMimc}, {pk.QPosF, &zeta, &ex.QPosF}, {pk.QPosP, &zeta, &ex.QPosP},
+		{pk.KC0, &zeta, &ex.K0}, {pk.KC1, &zeta, &ex.K1}, {pk.KC2, &zeta, &ex.K2},
+	}
+	for p := 3; p < nbPieces; p++ {
+		evalTasks = append(evalTasks, struct {
+			p   poly.Polynomial
+			at  *fr.Element
+			out *fr.Element
+		}{pieces[p], &zeta, &ex.TExtra[p-3]})
+	}
+	parallel.Execute(len(evalTasks), func(start, end int) {
+		for i := start; i < end; i++ {
+			*evalTasks[i].out = evalTasks[i].p.Eval(evalTasks[i].at)
+		}
+	})
+
+	tr.AppendScalars("evals", append(ev.evalList(), ex.zetaList()...))
+	tr.AppendScalar("z_omega", &ev.ZOmega)
+	tr.AppendScalars("evals-omega-ext", ex.omegaList())
+	v := tr.ChallengeScalar("v")
+
+	// Round 5: batched opening at ζ, and a v-folded opening of
+	// (z, S, a, b, c) at ζω.
+	foldZeta := []poly.Polynomial{
+		aPoly, bPoly, cPoly, zPoly,
+		pk.QL, pk.QR, pk.QO, pk.QM, pk.QC,
+		pk.S1, pk.S2, pk.S3,
+		pieces[0], pieces[1], pieces[2],
+		mPoly, hPoly, sPoly,
+		pk.QLk, pk.Tbl, pk.QMimc, pk.QPosF, pk.QPosP,
+		pk.KC0, pk.KC1, pk.KC2,
+	}
+	foldZeta = append(foldZeta, pieces[3:]...)
+	folded := foldPolys(foldZeta, fr.Powers(&v, len(foldZeta)))
+	wZeta, _ := poly.DivideByLinear(folded, &zeta)
+
+	foldOmega := []poly.Polynomial{zPoly, sPoly, aPoly, bPoly, cPoly}
+	foldedOmega := foldPolys(foldOmega, fr.Powers(&v, len(foldOmega)))
+	wZetaOmega, _ := poly.DivideByLinear(foldedOmega, &zetaOmega)
+
+	if err = commitParallel(pk.SRS,
+		[]poly.Polynomial{wZeta, wZetaOmega},
+		[]*kzg.Commitment{&proof.WZeta, &proof.WZetaOmega}); err != nil {
+		return nil, err
+	}
+	return proof, nil
+}

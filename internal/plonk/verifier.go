@@ -44,6 +44,13 @@ func prepare(vk *VerifyingKey, proof *Proof, public []fr.Element) (pairingTerms,
 	if len(public) != vk.NbPublic {
 		return pairingTerms{}, fmt.Errorf("%w: got %d, want %d", ErrWrongPublic, len(public), vk.NbPublic)
 	}
+	if vk.Extended != (proof.Evals.Ext != nil) {
+		return pairingTerms{}, fmt.Errorf("%w: extended=%v proof, extended=%v key",
+			ErrProofShape, proof.Evals.Ext != nil, vk.Extended)
+	}
+	if vk.Extended {
+		return prepareExtended(vk, proof, public)
+	}
 
 	// Reconstruct the challenges.
 	tr := transcript.New("zkdet/plonk")

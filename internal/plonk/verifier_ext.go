@@ -1,0 +1,192 @@
+package plonk
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/transcript"
+)
+
+// prepareExtended mirrors proveExtended: it replays the extended
+// transcript, evaluates the full constraint stack (gate, permutation,
+// LogUp, custom gates) at ζ via the same extNumerator the prover ran on
+// the coset, and reduces both opening checks to one pairing statement.
+// The ζ-opened commitments still fold into a single MSM.
+func prepareExtended(vk *VerifyingKey, proof *Proof, public []fr.Element) (pairingTerms, error) {
+	ex := proof.Evals.Ext
+	nbPieces := 3
+	if vk.Custom {
+		nbPieces = 6
+	}
+	if len(proof.TExtra) != nbPieces-3 || len(ex.TExtra) != nbPieces-3 {
+		return pairingTerms{}, fmt.Errorf("%w: %d extra quotient pieces, want %d",
+			ErrProofShape, len(proof.TExtra), nbPieces-3)
+	}
+
+	// Reconstruct the challenges.
+	tr := transcript.New("zkdet/plonk")
+	bindTranscript(tr, vk, public)
+	tr.AppendPoint("a", &proof.A)
+	tr.AppendPoint("b", &proof.B)
+	tr.AppendPoint("c", &proof.C)
+	tr.AppendPoint("m", &proof.M)
+	beta := tr.ChallengeScalar("beta")
+	gamma := tr.ChallengeScalar("gamma")
+	betaL := tr.ChallengeScalar("beta_l")
+	tr.AppendPoint("z", &proof.Z)
+	tr.AppendPoint("h", &proof.H)
+	tr.AppendPoint("s", &proof.S)
+	alpha := tr.ChallengeScalar("alpha")
+	tr.AppendPoint("t_lo", &proof.TLo)
+	tr.AppendPoint("t_mid", &proof.TMid)
+	tr.AppendPoint("t_hi", &proof.THi)
+	for p := 3; p < nbPieces; p++ {
+		tr.AppendPoint(fmt.Sprintf("t_%d", p), &proof.TExtra[p-3])
+	}
+	zeta := tr.ChallengeScalar("zeta")
+	ev := &proof.Evals
+	tr.AppendScalars("evals", append(ev.evalList(), ex.zetaList()...))
+	tr.AppendScalar("z_omega", &ev.ZOmega)
+	tr.AppendScalars("evals-omega-ext", ex.omegaList())
+	v := tr.ChallengeScalar("v")
+	tr.AppendPoint("w_zeta", &proof.WZeta)
+	tr.AppendPoint("w_zeta_omega", &proof.WZetaOmega)
+	u := tr.ChallengeScalar("u")
+
+	domain, lagOmega, _, err := vk.verifierCache()
+	if err != nil {
+		return pairingTerms{}, fmt.Errorf("plonk: %w", err)
+	}
+
+	one := fr.One()
+	var zetaN fr.Element
+	zetaN.ExpUint64(&zeta, vk.N)
+	var zh fr.Element
+	zh.Sub(&zetaN, &one)
+	if zh.IsZero() {
+		return pairingTerms{}, ErrProofInvalid
+	}
+	lag := lagrangePrefix(lagOmega, vk.N, &zeta, &zh)
+	var pi fr.Element
+	for i := range public {
+		var t fr.Element
+		t.Mul(&lag[i], &public[i])
+		pi.Sub(&pi, &t)
+	}
+
+	// Full constraint stack at ζ — same formula the prover divided by
+	// Z_H on the coset.
+	pv := &extPointVals{
+		x: zeta,
+		a: ev.A, b: ev.B, c: ev.C,
+		aw: ex.AOmega, bw: ex.BOmega, cw: ex.COmega,
+		z: ev.Z, zw: ev.ZOmega,
+		ql: ev.QL, qr: ev.QR, qo: ev.QO, qm: ev.QM, qc: ev.QC, pi: pi,
+		s1: ev.S1, s2: ev.S2, s3: ev.S3,
+		m: ex.M, h: ex.H, s: ex.S, sw: ex.SOmega,
+		qlk: ex.QLk, tbl: ex.Tbl,
+		qmimc: ex.QMimc, qposf: ex.QPosF, qposp: ex.QPosP,
+		k0: ex.K0, k1c: ex.K1, k2c: ex.K2,
+		l1: lag[0],
+	}
+	ch := &extChallenges{
+		beta: beta, gamma: gamma, betaL: betaL,
+		alphaPow: fr.Powers(&alpha, nbAlphaPowers),
+		k1:       vk.K1, k2: vk.K2,
+		mds: vk.MDS,
+	}
+	rhs := extNumerator(pv, ch)
+
+	// t(ζ) = Σ_p ζ^{p·n}·t_p(ζ).
+	pieceEvals := append([]fr.Element{ev.TLo, ev.TMid, ev.THi}, ex.TExtra...)
+	var tEval, zetaPow fr.Element
+	zetaPow = one
+	for p := range pieceEvals {
+		var t fr.Element
+		t.Mul(&zetaPow, &pieceEvals[p])
+		tEval.Add(&tEval, &t)
+		zetaPow.Mul(&zetaPow, &zetaN)
+	}
+	var lhs fr.Element
+	lhs.Mul(&tEval, &zh)
+	if !lhs.Equal(&rhs) {
+		return pairingTerms{}, fmt.Errorf("%w: quotient identity", ErrProofInvalid)
+	}
+
+	// Batched KZG check: fold the ζ-opened commitments/values with v, the
+	// ζω-opened ones (z, S, a, b, c) with v inside the u-weighted term.
+	cms := []kzg.Commitment{
+		proof.A, proof.B, proof.C, proof.Z,
+		vk.QL, vk.QR, vk.QO, vk.QM, vk.QC,
+		vk.S1, vk.S2, vk.S3,
+		proof.TLo, proof.TMid, proof.THi,
+		proof.M, proof.H, proof.S,
+		vk.QLk, vk.Tbl, vk.QMimc, vk.QPosF, vk.QPosP,
+		vk.KC0, vk.KC1, vk.KC2,
+	}
+	cms = append(cms, proof.TExtra...)
+	evals := append(ev.evalList(), ex.zetaList()...)
+	if len(evals) != len(cms) {
+		return pairingTerms{}, fmt.Errorf("%w: %d evals for %d commitments", ErrProofShape, len(evals), len(cms))
+	}
+	vPowers := fr.Powers(&v, len(cms))
+	foldVal := fr.Zero()
+	for i := range evals {
+		var tv fr.Element
+		tv.Mul(&evals[i], &vPowers[i])
+		foldVal.Add(&foldVal, &tv)
+	}
+
+	omegaEvals := append([]fr.Element{ev.ZOmega}, ex.omegaList()...)
+	vOmega := fr.Powers(&v, len(omegaEvals))
+	foldValOmega := fr.Zero()
+	for i := range omegaEvals {
+		var tv fr.Element
+		tv.Mul(&omegaEvals[i], &vOmega[i])
+		foldValOmega.Add(&foldValOmega, &tv)
+	}
+
+	g1 := bn254.G1Generator()
+	var zetaOmega fr.Element
+	zetaOmega.Mul(&zeta, &domain.Gen)
+	var uZOmega fr.Element
+	uZOmega.Mul(&u, &zetaOmega)
+	var eScalar fr.Element
+	eScalar.Mul(&u, &foldValOmega)
+	eScalar.Add(&eScalar, &foldVal)
+	eScalar.Neg(&eScalar)
+
+	// F_ζω = [z] + v[S] + v²[A] + v³[B] + v⁴[C], weighted by u.
+	omegaCms := []kzg.Commitment{proof.Z, proof.S, proof.A, proof.B, proof.C}
+	pts := make([]bn254.G1Affine, 0, len(cms)+len(omegaCms)+3)
+	scs := make([]fr.Element, 0, cap(pts))
+	pts = append(pts, cms...)
+	scs = append(scs, vPowers...)
+	pts = append(pts, proof.WZeta)
+	scs = append(scs, zeta)
+	for i := range omegaCms {
+		var s fr.Element
+		s.Mul(&u, &vOmega[i])
+		pts = append(pts, omegaCms[i])
+		scs = append(scs, s)
+	}
+	pts = append(pts, proof.WZetaOmega, g1)
+	scs = append(scs, uZOmega, eScalar)
+
+	var terms pairingTerms
+	L, err := bn254.G1MSM(pts, scs)
+	if err != nil {
+		return pairingTerms{}, fmt.Errorf("plonk: %w", err)
+	}
+	terms.L = L
+
+	var wJ bn254.G1Jac
+	var tj bn254.G1Jac
+	wJ.FromAffine(&proof.WZeta)
+	tj.ScalarMul(&proof.WZetaOmega, &u)
+	wJ.AddAssign(&tj)
+	terms.W.FromJacobian(&wJ)
+	return terms, nil
+}

@@ -1,0 +1,134 @@
+package poseidon
+
+import (
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// TestCustomGadgetMatchesNative checks the one-row-per-round lowering
+// computes exactly Permute, end to end through Plonk prove/verify.
+func TestCustomGadgetMatchesNative(t *testing.T) {
+	in := [Width]fr.Element{fr.NewElement(1), fr.NewElement(2), fr.NewElement(3)}
+	want := Permute(in)
+
+	b := circuit.NewBuilder()
+	b.EnableCustomGates()
+	state := [Width]circuit.Variable{b.Secret(in[0]), b.Secret(in[1]), b.Secret(in[2])}
+	out := GadgetPermute(b, state)
+	for i := 0; i < Width; i++ {
+		if got := b.Value(out[i]); !got.Equal(&want[i]) {
+			t.Fatalf("lane %d: custom gadget %s, native %s", i, got.String(), want[i].String())
+		}
+	}
+	pub := b.Public(want[0])
+	b.AssertEqual(pub, out[0])
+
+	cs, witness, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.HasCustomGates() {
+		t.Fatal("no custom rows emitted")
+	}
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatal(err)
+	}
+
+	tau := fr.NewElement(0x905e)
+	srs, err := kzg.NewSRSFromSecret(1<<10, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := plonk.Setup(cs, srs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vk.Custom {
+		t.Fatal("custom circuit compiled to a non-custom key")
+	}
+	proof, err := plonk.Prove(pk, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plonk.Verify(vk, proof, b.PublicValues()); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+	one := fr.One()
+	var wrong fr.Element
+	wrong.Add(&want[0], &one)
+	if err := plonk.Verify(vk, proof, []fr.Element{wrong}); err == nil {
+		t.Fatal("wrong permutation output accepted")
+	}
+}
+
+// TestCustomGadgetConstraintCount pins the saving: one permutation must
+// cost about totalRounds+1 gates instead of ~12·totalRounds.
+func TestCustomGadgetConstraintCount(t *testing.T) {
+	classic := ConstraintsPerPermutation()
+
+	b := circuit.NewBuilder()
+	b.EnableCustomGates()
+	s := [Width]circuit.Variable{
+		b.Secret(fr.NewElement(1)), b.Secret(fr.NewElement(2)), b.Secret(fr.NewElement(3)),
+	}
+	before := b.NbGates()
+	GadgetPermute(b, s)
+	custom := b.NbGates() - before
+
+	if custom > totalRounds+1 {
+		t.Fatalf("custom permutation costs %d gates, want ≤ %d", custom, totalRounds+1)
+	}
+	if custom*3 > classic {
+		t.Fatalf("custom lowering not ≥3x cheaper: %d vs %d", custom, classic)
+	}
+}
+
+// TestCustomGadgetHashAndCommit runs the sponge and commitment modes on
+// the custom lowering (chained permutations with absorb rows in between).
+func TestCustomGadgetHashAndCommit(t *testing.T) {
+	msg := []fr.Element{fr.NewElement(11), fr.NewElement(22), fr.NewElement(33), fr.NewElement(44)}
+	want := Hash(msg)
+
+	b := circuit.NewBuilder()
+	b.EnableCustomGates()
+	vars := make([]circuit.Variable, len(msg))
+	for i, m := range msg {
+		vars[i] = b.Secret(m)
+	}
+	h := GadgetHash(b, vars)
+	if got := b.Value(h); !got.Equal(&want) {
+		t.Fatalf("custom gadget hash %s, native %s", got.String(), want.String())
+	}
+	cs, witness, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.IsSatisfied(witness); err != nil {
+		t.Fatal(err)
+	}
+
+	o := fr.NewElement(0xb11d)
+	wantC := CommitWith(msg, o)
+	b2 := circuit.NewBuilder()
+	b2.EnableCustomGates()
+	ov := b2.Secret(o)
+	vars2 := make([]circuit.Variable, len(msg))
+	for i, m := range msg {
+		vars2[i] = b2.Secret(m)
+	}
+	c := GadgetCommit(b2, vars2, ov)
+	if got := b2.Value(c); !got.Equal(&wantC) {
+		t.Fatalf("custom gadget commit %s, native %s", got.String(), wantC.String())
+	}
+	cs2, w2, err := b2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs2.IsSatisfied(w2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -159,7 +159,13 @@ func Open(msg []fr.Element, c, o fr.Element) bool {
 }
 
 // GadgetPermute emits the Poseidon permutation as circuit constraints.
+// With custom gates enabled each round is a single KindPoseidonFull or
+// KindPoseidonPartial row (plus one closing row for the whole
+// permutation); classically a round costs ~12 gates.
 func GadgetPermute(b *circuit.Builder, state [Width]circuit.Variable) [Width]circuit.Variable {
+	if b.CustomGatesEnabled() {
+		return gadgetPermuteCustom(b, state)
+	}
 	half := FullRounds / 2
 	for r := 0; r < totalRounds; r++ {
 		for i := 0; i < Width; i++ {
@@ -174,6 +180,42 @@ func GadgetPermute(b *circuit.Builder, state [Width]circuit.Variable) [Width]cir
 		}
 		state = gadgetMDS(b, state)
 	}
+	return state
+}
+
+// gadgetPermuteCustom lowers the permutation to one custom row per round:
+// the row wires the current state, carries the round constants in K, and
+// the gate constrains the NEXT row's wires to MDS·sbox(state + K) (all
+// lanes S-boxed in full rounds, lane 0 only in partial rounds). The next
+// state is allocated as witness variables wired into the following row,
+// and a no-op row closes the sequence with the final state.
+func gadgetPermuteCustom(b *circuit.Builder, state [Width]circuit.Variable) [Width]circuit.Variable {
+	b.SetPoseidonMDS(mdsMatrix)
+	half := FullRounds / 2
+	vals := [Width]fr.Element{b.Value(state[0]), b.Value(state[1]), b.Value(state[2])}
+	for r := 0; r < totalRounds; r++ {
+		kind := circuit.KindPoseidonPartial
+		full := r < half || r >= half+PartialRounds
+		if full {
+			kind = circuit.KindPoseidonFull
+		}
+		b.CustomGate(kind, state[0], state[1], state[2], roundConstants[r])
+		for i := 0; i < Width; i++ {
+			vals[i].Add(&vals[i], &roundConstants[r][i])
+		}
+		if full {
+			for i := 0; i < Width; i++ {
+				vals[i] = sbox(vals[i])
+			}
+		} else {
+			vals[0] = sbox(vals[0])
+		}
+		vals = mdsMul(vals)
+		for i := 0; i < Width; i++ {
+			state[i] = b.Secret(vals[i])
+		}
+	}
+	b.NoOpRow(state[0], state[1], state[2])
 	return state
 }
 
