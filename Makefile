@@ -18,9 +18,9 @@ RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./inte
 	./internal/storage/... ./internal/core/... ./internal/p2p/... ./cmd/zkdet-node/... \
 	./internal/wal/... ./internal/snapshot/...
 
-.PHONY: check vet build lint test race fuzz-smoke bench bench-verify bench-p2p bench-exec bench-wal node-demo cluster-demo cluster-demo-durable
+.PHONY: check vet build lint audit test race fuzz-smoke bench bench-verify bench-p2p bench-exec bench-wal node-demo cluster-demo cluster-demo-durable
 
-check: vet build lint test race
+check: vet build lint audit test race
 
 vet:
 	$(GO) vet ./...
@@ -29,11 +29,22 @@ build:
 	$(GO) build ./...
 
 # zkdet-lint is the repo-specific analyzer suite (cryptocompare,
-# errcompare, secretscope, gaspurity, lockguard, panicfree), stdlib-only,
-# defined in cmd/zkdet-lint. Non-zero exit on any finding; suppressions require a
-# written justification (see DESIGN.md §9).
+# errcompare, secretscope, gaspurity, lockguard, panicfree, detreplay),
+# stdlib-only, defined in cmd/zkdet-lint. Non-zero exit on any finding;
+# suppressions require a written justification (see DESIGN.md §9, §16).
 lint:
 	$(GO) run ./cmd/zkdet-lint ./...
+
+# The circuit soundness auditor (DESIGN.md §16): audits the constraint
+# system of every circuit in internal/circuit/audit/registry for
+# unconstrained wires, dead/duplicate gates, broken range checks, open
+# custom-gate runs and unsatisfied gates, then runs the auditor's own unit
+# and mutation-kill tests (every registered circuit must flag ≥95% of
+# single-gate-deletion mutants; the clean baselines must stay at zero
+# findings).
+audit:
+	$(GO) run ./cmd/zkdet-lint -audit
+	$(GO) test ./internal/circuit/audit/...
 
 test:
 	$(GO) test ./...

@@ -41,6 +41,7 @@ func All() []*Analyzer {
 		GasPurity,
 		LockGuard,
 		PanicFree,
+		DetReplay,
 	}
 }
 

@@ -123,6 +123,7 @@ func TestSecretScopeFixture(t *testing.T)   { runFixture(t, SecretScope, "secret
 func TestGasPurityFixture(t *testing.T)     { runFixture(t, GasPurity, "gaspurity") }
 func TestLockGuardFixture(t *testing.T)     { runFixture(t, LockGuard, "lockguard") }
 func TestPanicFreeFixture(t *testing.T)     { runFixture(t, PanicFree, "panicfree") }
+func TestDetReplayFixture(t *testing.T)     { runFixture(t, DetReplay, "detreplay") }
 
 // TestSuppression proves //lint:ignore silences a finding only when it
 // carries a justification.

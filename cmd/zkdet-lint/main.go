@@ -1,40 +1,97 @@
-// Command zkdet-lint runs the repo's static-analysis suite: five analyzers
+// Command zkdet-lint runs the repo's static-analysis suite: seven analyzers
 // enforcing invariants the type system cannot see — canonical crypto
 // comparisons, ceremony-secret hygiene, gas-metered state writes, annotated
-// lock discipline, and panic-free library code. See DESIGN.md §9.
+// lock discipline, panic-free library code, and consensus-replay
+// determinism — plus the circuit soundness auditor over every registered
+// application circuit. See DESIGN.md §9 and §16.
 //
 // Usage:
 //
-//	zkdet-lint [-only analyzer[,analyzer]] [packages]
+//	zkdet-lint [-only analyzer[,analyzer]] [-json] [packages]
+//	zkdet-lint -audit [-json]
 //
-// Packages default to ./... relative to the enclosing module. The exit
-// status is 0 when clean, 1 when findings are reported, 2 on load errors.
+// Packages default to ./... relative to the enclosing module. With -audit
+// the source analyzers are skipped and every circuit in the audit registry
+// is built and audited instead; findings are positioned as
+// "circuit:<name>".
+//
+// Exit status:
+//
+//	0  clean
+//	1  findings from more than one analyzer
+//	2  load or usage error
+//	3+ findings from exactly one analyzer — its dedicated code (see -list)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/zkdet/zkdet/cmd/zkdet-lint/internal/lint"
+	"github.com/zkdet/zkdet/internal/circuit/audit"
+	"github.com/zkdet/zkdet/internal/circuit/audit/registry"
 )
+
+// exitCodes maps each analyzer to its dedicated exit status, so CI jobs
+// and scripts can tell *which* invariant failed without parsing output.
+// Codes 0–2 are reserved (clean, mixed findings, load error).
+var exitCodes = map[string]int{
+	"cryptocompare": 3,
+	"errcompare":    4,
+	"secretscope":   5,
+	"gaspurity":     6,
+	"lockguard":     7,
+	"panicfree":     8,
+	"detreplay":     9,
+	"audit":         10,
+	"lint":          11, // malformed //lint:ignore directives
+}
+
+// jsonDiag is the machine-readable rendering of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Rule     string `json:"rule,omitempty"` // audit findings only
+	Message  string `json:"message"`
+}
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
+	list := flag.Bool("list", false, "list analyzers with their exit codes and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	runAudit := flag.Bool("audit", false, "audit every registered circuit instead of running source analyzers")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s exit %-2d %s\n", a.Name, exitCodes[a.Name], a.Doc)
 		}
+		fmt.Printf("%-14s exit %-2d %s\n", "audit", exitCodes["audit"],
+			"circuit soundness auditor over the registered application circuits (-audit)")
 		return
 	}
-	if *only != "" {
+
+	var diags []jsonDiag
+	if *runAudit {
+		diags = auditCircuits()
+	} else {
+		diags = lintPackages(analyzers, *only, flag.Args())
+	}
+
+	render(diags, *asJSON)
+	os.Exit(exitStatus(diags))
+}
+
+// lintPackages runs the source analyzers over the requested packages.
+func lintPackages(analyzers []*lint.Analyzer, only string, patterns []string) []jsonDiag {
+	if only != "" {
 		keep := map[string]bool{}
-		for _, name := range strings.Split(*only, ",") {
+		for _, name := range strings.Split(only, ",") {
 			keep[strings.TrimSpace(name)] = true
 		}
 		var filtered []*lint.Analyzer
@@ -50,11 +107,9 @@ func main() {
 		analyzers = filtered
 	}
 
-	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatalf("zkdet-lint: %v", err)
@@ -76,14 +131,90 @@ func main() {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	var out []jsonDiag
+	for _, d := range lint.RunAnalyzers(pkgs, analyzers) {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// auditCircuits builds every registry entry and audits its constraint
+// system. A circuit that fails to build is itself a finding (the builder
+// error would otherwise hide whatever the auditor might have said).
+func auditCircuits() []jsonDiag {
+	var out []jsonDiag
+	for _, e := range registry.Entries() {
+		info, err := e.Build()
+		if err != nil {
+			out = append(out, jsonDiag{
+				File:     "circuit:" + e.Name,
+				Analyzer: "audit",
+				Rule:     audit.RuleBuilderError,
+				Message:  err.Error(),
+			})
+			continue
+		}
+		for _, f := range audit.Circuit(info).Findings {
+			out = append(out, jsonDiag{
+				File:     "circuit:" + e.Name,
+				Analyzer: "audit",
+				Rule:     f.Rule,
+				Message:  f.String(),
+			})
+		}
+	}
+	return out
+}
+
+// render prints the findings, as text lines or one JSON array.
+func render(diags []jsonDiag, asJSON bool) {
+	if asJSON {
+		if diags == nil {
+			diags = []jsonDiag{} // emit [] rather than null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatalf("zkdet-lint: %v", err)
+		}
+		return
+	}
 	for _, d := range diags {
-		fmt.Println(d)
+		if d.Line > 0 {
+			fmt.Printf("%s:%d: %s: %s\n", d.File, d.Line, d.Analyzer, d.Message)
+		} else {
+			fmt.Printf("%s: %s: %s\n", d.File, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "zkdet-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "zkdet-lint: %d finding(s)\n", len(diags))
 	}
+}
+
+// exitStatus picks the process exit code: 0 when clean, the offending
+// analyzer's dedicated code when exactly one analyzer reported, 1 when
+// several did.
+func exitStatus(diags []jsonDiag) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	names := map[string]bool{}
+	for _, d := range diags {
+		names[d.Analyzer] = true
+	}
+	if len(names) == 1 {
+		for name := range names {
+			if code, ok := exitCodes[name]; ok {
+				return code
+			}
+		}
+	}
+	return 1
 }
 
 func fatalf(format string, args ...any) {

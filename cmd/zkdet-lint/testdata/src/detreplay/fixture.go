@@ -1,0 +1,144 @@
+// Package fixture exercises the detreplay analyzer: consensus-replay
+// determinism. Each `// want` comment marks an expected finding; the
+// unannotated code is the calibrated order-independent idiom set that
+// must stay silent.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+type state struct {
+	balances map[string]uint64
+	events   []string
+	now      func() time.Time
+}
+
+// --- map iteration order -------------------------------------------------
+
+func appendUnsorted(s *state) []string {
+	var out []string
+	for k := range s.balances {
+		out = append(out, k) // want "append to out accumulates in map iteration order"
+	}
+	return out
+}
+
+func appendThenSort(s *state) []string {
+	var out []string
+	for k := range s.balances {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lastWriteWins(s *state) string {
+	var winner string
+	for k := range s.balances {
+		winner = k + "!" // want "assignment to winner inside a map range is last-write-wins"
+	}
+	return winner
+}
+
+func keyedWritesAreFine(s *state, dst map[string]uint64) {
+	for k, v := range s.balances {
+		dst[k] = v + 1
+	}
+}
+
+func commutativeFoldIsFine(s *state) uint64 {
+	var total uint64
+	for _, v := range s.balances {
+		total += v
+	}
+	return total
+}
+
+func constantStoreIsFine(s *state) bool {
+	found := false
+	for _, v := range s.balances {
+		if v == 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+func loopLocalIsFine(s *state, dst map[string][]byte) {
+	for k, v := range s.balances {
+		buf := make([]byte, 8)
+		buf[0] = byte(v)
+		dst[k] = buf
+	}
+}
+
+func deleteIsFine(s *state) {
+	for k, v := range s.balances {
+		if v == 0 {
+			delete(s.balances, k)
+		}
+	}
+}
+
+func iterationDependentReturn(s *state) string {
+	for k, v := range s.balances {
+		if v > 100 {
+			return k // want "returning an iteration-dependent value from a map range"
+		}
+	}
+	return ""
+}
+
+func closureCallInMapRange(s *state) {
+	var log []string
+	record := func(e string) { log = append(log, e) }
+	for k := range s.balances {
+		record(k) // want "closure record called from a map range"
+	}
+}
+
+// --- wall clock and randomness ------------------------------------------
+
+func rawClock(s *state) int64 {
+	return time.Now().Unix() // want "direct time.Now"
+}
+
+func injectedClockIsFine() *state {
+	return &state{now: time.Now} // wiring the default clock is the sanctioned idiom
+}
+
+func usingInjectedClockIsFine(s *state) int64 {
+	return s.now().Unix()
+}
+
+// --- goroutine completion order ------------------------------------------
+
+func goroutineAppend(s *state, done chan struct{}) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			s.events = append(s.events, "tick") // want "append to captured s.events from a goroutine"
+			done <- struct{}{}
+		}()
+	}
+}
+
+func goroutineIndexedWriteIsFine(out []uint64, done chan struct{}) {
+	for i := 0; i < len(out); i++ {
+		i := i
+		go func() {
+			out[i] = uint64(i) // disjoint indices: order-independent
+			done <- struct{}{}
+		}()
+	}
+}
+
+func suppressedWithJustification(s *state) string {
+	var winner string
+	for k := range s.balances {
+		//lint:ignore detreplay fixture: demonstrates a justified suppression
+		winner = k
+	}
+	return winner
+}

@@ -317,8 +317,21 @@ type Chain struct {
 	execStats exec.Counters
 }
 
-// New returns an empty chain with a genesis block.
+// New returns an empty chain with a genesis block, stamped by the wall
+// clock. This is the ONE sanctioned wall-clock entry point on the replay
+// path (the detreplay analyzer allows wiring `time.Now` as a value but
+// flags calling it): every block timestamp flows through the injected
+// clock, timestamps never enter block or transaction hashes, and
+// importing nodes take Time from the sealed header — so two replays of
+// the same blocks reach identical roots regardless of their clocks.
 func New() *Chain {
+	return NewWithClock(time.Now)
+}
+
+// NewWithClock returns an empty chain whose block timestamps come from
+// the given clock. Deterministic tests and replay harnesses inject a
+// fixed or stepped clock here; production uses New.
+func NewWithClock(clock func() time.Time) *Chain {
 	c := &Chain{
 		receipts:  make(map[Hash]*Receipt),
 		contracts: make(map[string]Contract),
@@ -327,7 +340,7 @@ func New() *Chain {
 		codeSizes: make(map[string]int),
 		eventIdx:  make(map[string][]Event),
 		txs:       make(map[Hash]Transaction),
-		now:       time.Now,
+		now:       clock,
 	}
 	c.execWorkers = 1
 	genesis := Block{Number: 0, Time: c.now()}

@@ -123,6 +123,7 @@ func Schedule(sets []*RWSet) [][]int {
 		}
 		if hasWrite || (hasDelta && hasRead) {
 			for i := 1; i < len(ts); i++ {
+				//lint:ignore detreplay union-find with min-root union: the final partition (and group order, keyed by sorted roots below) is independent of the order unions are applied
 				union(ts[0].idx, ts[i].idx)
 			}
 		}

@@ -15,6 +15,7 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Errors returned by the persistence API.
@@ -138,7 +139,14 @@ func (c *Chain) RestoreState(exp *StateExport) error {
 		return fmt.Errorf("%w: height %d, %d pending, %d txs",
 			ErrRestoreTarget, height, pending, txs)
 	}
+	// Iterate sorted so the reported offender is deterministic (detreplay:
+	// an error that depends on map order diverges across replays).
+	names := make([]string, 0, len(exp.Storages))
 	for name := range exp.Storages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if _, ok := c.storages[name]; !ok {
 			c.mu.Unlock()
 			return fmt.Errorf("%w: storage for undeployed contract %q", ErrBadExport, name)
@@ -230,7 +238,16 @@ func validateExport(exp *StateExport) error {
 			return fmt.Errorf("%w: block %d parent hash mismatch", ErrBadExport, i)
 		}
 	}
-	for n, bd := range exp.Bodies {
+	// Validate bodies in ascending block order so the first error reported
+	// is deterministic (detreplay: map-order-dependent errors diverge
+	// across replays).
+	nums := make([]uint64, 0, len(exp.Bodies))
+	for n := range exp.Bodies {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, n := range nums {
+		bd := exp.Bodies[n]
 		if n == 0 || n >= uint64(len(exp.Blocks)) {
 			return fmt.Errorf("%w: body for unknown block %d", ErrBadExport, n)
 		}

@@ -1,0 +1,295 @@
+package audit
+
+import (
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// expose pins v to a public input so it anchors the dangling analysis,
+// mirroring how the registry entries surface gadget outputs.
+func expose(b *circuit.Builder, v circuit.Variable) {
+	b.AssertEqual(v, b.Public(b.Value(v)))
+}
+
+func hasRule(t *testing.T, r *Report, rule string) {
+	t.Helper()
+	for _, f := range r.Findings {
+		if f.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("want rule %q, got report:\n%s", rule, r)
+}
+
+func tinyInfo(t *testing.T) *circuit.AuditInfo {
+	t.Helper()
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(7))
+	y := b.Square(x)
+	expose(b, y)
+	info := b.AuditInfo()
+	info.Name = "tiny"
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+	return info
+}
+
+func TestCleanBaseline(t *testing.T) { tinyInfo(t) }
+
+func TestWiringOutOfRange(t *testing.T) {
+	info := tinyInfo(t)
+	info.Gates[0].A = info.NbVars + 3
+	hasRule(t, Circuit(info), RuleWiring)
+}
+
+func TestUnsatisfiedWitness(t *testing.T) {
+	info := tinyInfo(t)
+	// Corrupt the squared wire's value: the defining gate no longer holds.
+	info.Values[1] = fr.NewElement(999)
+	hasRule(t, Circuit(info), RuleUnsatisfied)
+}
+
+func TestDanglingOutput(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(3))
+	y := b.Square(x)
+	b.Add(y, x) // computed, never asserted or exposed
+	expose(b, y)
+	hasRule(t, Circuit(b.AuditInfo()), RuleDangling)
+}
+
+func TestMarkDiscardSuppressesDangling(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(3))
+	y := b.Square(x)
+	dead := b.Add(y, x)
+	b.MarkDiscard(dead)
+	expose(b, y)
+	if rep := Circuit(b.AuditInfo()); !rep.Clean() {
+		t.Fatalf("discarded wire still reported:\n%s", rep)
+	}
+}
+
+func TestUndeterminedAfterDefiningGateDrop(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(7))
+	y := b.Square(x)
+	w := b.Square(y)
+	expose(b, w)
+	info := b.AuditInfo()
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+	// Deleting y's defining gate leaves the prover free to pick y: its
+	// only remaining mention is w = y·y, where the quadratic occupancy
+	// (two roots) determines nothing, and the exposure only pins w.
+	hasRule(t, Circuit(DropGate(info, 0)), RuleUndetermined)
+}
+
+func TestMissingBooleanUse(t *testing.T) {
+	b := circuit.NewBuilder()
+	cond := b.Secret(fr.NewElement(1)) // never AssertBoolean'd
+	x := b.Secret(fr.NewElement(5))
+	y := b.Secret(fr.NewElement(9))
+	expose(b, b.Select(cond, x, y))
+	hasRule(t, Circuit(b.AuditInfo()), RuleMissingBool)
+}
+
+func TestMissingBooleanAfterConstraintDrop(t *testing.T) {
+	b := circuit.NewBuilder()
+	cond := b.Secret(fr.NewElement(1))
+	b.AssertBoolean(cond)
+	x := b.Secret(fr.NewElement(5))
+	y := b.Secret(fr.NewElement(9))
+	expose(b, b.Select(cond, x, y))
+	info := b.AuditInfo()
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+	// The x²=x row is gate 0 (emitted right after the secrets).
+	hasRule(t, Circuit(DropGate(info, info.BoolCons[0].Gate)), RuleMissingBool)
+}
+
+func TestConstUnpinned(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(4))
+	c := b.Constant(fr.NewElement(10))
+	expose(b, b.Mul(x, c))
+	info := b.AuditInfo()
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+	if len(info.ConstPins) == 0 {
+		t.Fatal("no constant pin recorded")
+	}
+	hasRule(t, Circuit(DropGate(info, info.ConstPins[0].Gate)), RuleConstUnpinned)
+}
+
+func TestRangeBrokenClassic(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(200))
+	b.AssertRange(x, 8)
+	expose(b, x)
+	info := b.AuditInfo()
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+	if len(info.Ranges) == 0 {
+		t.Fatal("no range obligation recorded")
+	}
+	// Drop one x²=x bit row inside the span.
+	hasRule(t, Circuit(DropGate(info, info.Ranges[0].Start)), RuleRangeBroken)
+}
+
+func TestRangeBrokenLookup(t *testing.T) {
+	b := circuit.NewBuilder()
+	b.EnableLookups(8)
+	x := b.Secret(fr.NewElement(60000))
+	b.AssertRange(x, 16)
+	expose(b, x)
+	info := b.AuditInfo()
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+	ra := info.Ranges[0]
+	if ra.Lookups == 0 {
+		t.Fatal("expected lookup-based range obligation")
+	}
+	// Delete every lookup row in the span; the recount and the
+	// independently recomputed limb requirement both disagree.
+	mut := info
+	for {
+		dropped := false
+		for gi := mut.Ranges[0].Start; gi < mut.Ranges[0].End; gi++ {
+			if mut.Gates[gi].Kind == plonk.KindLookup {
+				mut = DropGate(mut, gi)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	hasRule(t, Circuit(mut), RuleRangeBroken)
+}
+
+func TestDeadGate(t *testing.T) {
+	info := tinyInfo(t)
+	info.Gates = append(info.Gates, circuit.AuditGate{Kind: plonk.KindArith})
+	hasRule(t, Circuit(info), RuleDeadGate)
+}
+
+func TestDuplicateGate(t *testing.T) {
+	info := tinyInfo(t)
+	info.Gates = append(info.Gates, info.Gates[len(info.Gates)-1])
+	hasRule(t, Circuit(info), RuleDuplicate)
+}
+
+func TestBadConfigTableBits(t *testing.T) {
+	info := tinyInfo(t)
+	info.LookupBits = plonk.MaxTableBits + 1
+	hasRule(t, Circuit(info), RuleConfig)
+}
+
+func TestBadConfigLookupWithoutTable(t *testing.T) {
+	info := tinyInfo(t)
+	info.Gates = append(info.Gates, circuit.AuditGate{Kind: plonk.KindLookup})
+	hasRule(t, Circuit(info), RuleConfig)
+}
+
+func TestBuilderErrorSurfaces(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.NewElement(2))
+	expose(b, b.Square(x))
+	b.Fail("gadget shape error")
+	info := b.AuditInfo()
+	if info.Err == nil {
+		t.Fatal("expected builder error")
+	}
+	hasRule(t, Circuit(info), RuleBuilderError)
+}
+
+func TestInverseOfZeroUnsatisfied(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.Secret(fr.Zero())
+	expose(b, b.Inverse(x)) // x·out=1 cannot hold for x=0
+	hasRule(t, Circuit(b.AuditInfo()), RuleUnsatisfied)
+}
+
+func TestCustomRunMutations(t *testing.T) {
+	b := circuit.NewBuilder()
+	b.EnableCustomGates()
+	var mds [3][3]fr.Element
+	for i := range mds {
+		for j := range mds[i] {
+			var s fr.Element
+			s = fr.NewElement(uint64(i + j + 3))
+			mds[i][j].Inverse(&s)
+		}
+	}
+	b.SetPoseidonMDS(mds)
+	x := b.Secret(fr.NewElement(11))
+	y := b.Secret(fr.NewElement(22))
+	z := b.Secret(fr.NewElement(33))
+	var k [3]fr.Element
+	k[0] = fr.NewElement(5)
+	k[1] = fr.NewElement(6)
+	k[2] = fr.NewElement(7)
+	b.CustomGate(plonk.KindPoseidonFull, x, y, z, k)
+	// Compute the expected next state exactly as the reference semantics.
+	w := [3]fr.Element{b.Value(x), b.Value(y), b.Value(z)}
+	var sb [3]fr.Element
+	for j := 0; j < 3; j++ {
+		var t5, t2 fr.Element
+		t5.Add(&w[j], &k[j])
+		t2.Square(&t5)
+		t2.Square(&t2)
+		t5.Mul(&t2, &t5)
+		sb[j] = t5
+	}
+	var next [3]circuit.Variable
+	for l := 0; l < 3; l++ {
+		var acc, tt fr.Element
+		for j := 0; j < 3; j++ {
+			tt.Mul(&mds[l][j], &sb[j])
+			acc.Add(&acc, &tt)
+		}
+		next[l] = b.Secret(acc)
+	}
+	b.NoOpRow(next[0], next[1], next[2])
+	expose(b, next[0])
+	b.MarkDiscard(next[1])
+	b.MarkDiscard(next[2])
+	info := b.AuditInfo()
+	if rep := Circuit(info); !rep.Clean() {
+		t.Fatalf("baseline not clean:\n%s", rep)
+	}
+
+	// Dropping the NoOpRow leaves the run open.
+	var customIdx, closerIdx int = -1, -1
+	for i, g := range info.Gates {
+		if g.Kind == plonk.KindPoseidonFull {
+			customIdx = i
+			closerIdx = i + 1
+		}
+	}
+	if customIdx < 0 {
+		t.Fatal("no custom gate emitted")
+	}
+	hasRule(t, Circuit(DropGate(info, closerIdx)), RuleCustomOpen)
+
+	// Mangling a round constant breaks the reference round equation.
+	mut := DropGate(info, len(info.Gates)) // deep copy, no deletion
+	mut.Gates[customIdx].K[0] = fr.NewElement(999)
+	hasRule(t, Circuit(mut), RuleUnsatisfied)
+
+	// Dropping the MDS matrix is a configuration error.
+	mut2 := DropGate(info, len(info.Gates))
+	mut2.MDSSet = false
+	hasRule(t, Circuit(mut2), RuleConfig)
+}

@@ -1,0 +1,64 @@
+package audit
+
+import (
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// ConstraintSystem audits a compiled backend system plus its witness —
+// the post-Compile view, with public inputs renumbered to the front and
+// exposure gates prepended. Without the builder's annotation ledger only
+// the structural analyses run (liveness, gate hygiene, satisfaction, and
+// lookup configuration), so this is a coarser check than Circuit; it
+// exists to validate that compilation preserved the audited structure
+// and to audit systems that arrive over the wire.
+func ConstraintSystem(name string, cs *plonk.ConstraintSystem, witness []fr.Element) *Report {
+	r := &Report{Circuit: name}
+	gates := cs.Gates()
+	view := make([]circuit.AuditGate, len(gates))
+	for i, g := range gates {
+		view[i] = circuit.AuditGate{
+			QL: g.QL, QR: g.QR, QO: g.QO, QM: g.QM, QC: g.QC,
+			Kind: g.Kind, K: g.K, A: g.A, B: g.B, C: g.C,
+		}
+	}
+	nbVars := cs.NbVariables()
+	for i, g := range view {
+		for _, w := range []int{g.A, g.B, g.C} {
+			if w < 0 || w >= nbVars {
+				r.add(RuleWiring, w, i, "gate references unknown variable (have %d)", nbVars)
+				return r
+			}
+		}
+	}
+	if cs.HasLookup() && cs.RangeTableBits() == 0 {
+		r.add(RuleConfig, -1, -1, "lookup rows present but no range table enabled")
+	}
+	if cs.RangeTableBits() > plonk.MaxTableBits {
+		r.add(RuleConfig, -1, -1, "table bits %d exceed backend maximum %d", cs.RangeTableBits(), plonk.MaxTableBits)
+	}
+
+	occurrences := make([]int, nbVars)
+	for i := range view {
+		for _, v := range liveVars(view, i, true) {
+			occurrences[v]++
+		}
+	}
+	for v := 0; v < nbVars; v++ {
+		if occurrences[v] == 0 {
+			r.add(RuleUnconstrained, v, -1, "variable appears in no live constraint slot")
+		}
+	}
+
+	auditGateHygiene(r, view)
+
+	if len(witness) == nbVars {
+		if err := cs.IsSatisfied(witness); err != nil {
+			r.add(RuleUnsatisfied, -1, -1, "%v", err)
+		}
+	} else if witness != nil {
+		r.add(RuleUnsatisfied, -1, -1, "witness length %d, want %d", len(witness), nbVars)
+	}
+	return r
+}

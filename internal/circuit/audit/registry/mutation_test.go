@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/circuit/audit"
+)
+
+// maxMutantsPerCircuit caps the deletion sample per entry so the full
+// sweep stays test-suite fast; gates are sampled at a uniform stride, so
+// every region of every circuit is exercised.
+const maxMutantsPerCircuit = 120
+
+// TestMutationKillRate validates the auditor the only way that counts:
+// delete single gates from every registered circuit and check the mutant
+// is flagged. The acceptance bar is ≥95% of sampled single-gate-deletion
+// mutants killed across all registered circuits.
+func TestMutationKillRate(t *testing.T) {
+	budget := maxMutantsPerCircuit
+	if testing.Short() {
+		budget = 25
+	}
+	totalTried, totalKilled := 0, 0
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			info, err := e.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			n := len(info.Gates)
+			stride := 1
+			if n > budget {
+				stride = n/budget + 1
+			}
+			tried, killed := 0, 0
+			var missed []int
+			for i := 0; i < n; i += stride {
+				mut := audit.DropGate(info, i)
+				tried++
+				if audit.Circuit(mut).Clean() {
+					missed = append(missed, i)
+				} else {
+					killed++
+				}
+			}
+			totalTried += tried
+			totalKilled += killed
+			t.Logf("%s: %d/%d mutants killed (%d gates, stride %d)", e.Name, killed, tried, n, stride)
+			if len(missed) > 0 {
+				t.Logf("%s: surviving mutants at gates %v", e.Name, missed)
+			}
+		})
+	}
+	if totalTried == 0 {
+		t.Fatal("no mutants generated")
+	}
+	rate := float64(totalKilled) / float64(totalTried)
+	msg := fmt.Sprintf("overall kill rate %.1f%% (%d/%d)", 100*rate, totalKilled, totalTried)
+	t.Log(msg)
+	if rate < 0.95 {
+		t.Fatalf("%s below the 95%% acceptance bar", msg)
+	}
+}

@@ -1,0 +1,45 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/circuit/audit"
+)
+
+// TestRegistryClean is the zero-false-positive half of the auditor's
+// contract: every registered production circuit must audit clean.
+func TestRegistryClean(t *testing.T) {
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			info, err := e.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if r := audit.Circuit(info); !r.Clean() {
+				t.Fatalf("clean circuit flagged:\n%s", r)
+			}
+		})
+	}
+}
+
+// TestRegistryCompiles double-checks the snapshots correspond to
+// compilable, satisfied constraint systems — the auditor must be
+// auditing real circuits, not structurally broken ones.
+func TestRegistryCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			info, err := e.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if info.NbVars == 0 || len(info.Gates) == 0 {
+				t.Fatal("empty snapshot")
+			}
+		})
+	}
+}

@@ -31,6 +31,22 @@ type gateTmpl struct {
 	a, b, c            int
 }
 
+// AuditVarKind classifies how a wire came into existence — the soundness
+// auditor (internal/circuit/audit) treats each kind differently: inputs
+// are free by design, internal wires must be determined by their defining
+// gate, and hint wires are witness-computed helpers whose correctness is
+// carried by accompanying assertion gates (range checks, recompositions).
+type AuditVarKind uint8
+
+// Wire origin kinds, exported through AuditInfo.
+const (
+	AuditVarInternal AuditVarKind = iota // operation output; must be gate-determined
+	AuditVarPublic                       // public input
+	AuditVarSecret                       // private witness input (free by design)
+	AuditVarConstant                     // pinned by a constant gate
+	AuditVarHint                         // witness-computed helper pinned by assertions
+)
+
 // Builder records gates and wire values. It is not safe for concurrent use.
 //
 // Gadget misuse (mismatched slice lengths, malformed shapes) does not
@@ -52,6 +68,20 @@ type Builder struct {
 	mds         [3][3]fr.Element
 	mdsSet      bool
 	rangeGates  int // gates spent on range/comparison checks, for Stats
+
+	// Audit ledger: gadgets record their proof obligations (which wires
+	// must be boolean, which spans of gates realize a range check, which
+	// wires are witness-computed hints) as they emit gates. The soundness
+	// auditor later checks that the emitted constraints actually discharge
+	// every recorded obligation; see AuditInfo.
+	kinds            []AuditVarKind
+	auditBoolCons    []AuditBoolCon
+	auditBoolUses    []AuditBoolUse
+	auditBoolDerived []int
+	auditStructBools []AuditStructBool
+	auditRanges      []AuditRange
+	auditConstPins   []AuditConstPin
+	auditDiscards    []int
 }
 
 // Fail records a deferred circuit-construction error. The first error
@@ -178,7 +208,44 @@ func (b *Builder) NbConstraints() int { return len(b.gates) + len(b.public) }
 
 func (b *Builder) newVar(val fr.Element) Variable {
 	b.values = append(b.values, val)
+	b.kinds = append(b.kinds, AuditVarInternal)
 	return Variable{id: len(b.values) - 1}
+}
+
+// markHint reclassifies an internal wire as a witness-computed hint: its
+// value is filled in by out-of-circuit computation (bit decomposition,
+// quotient/remainder, inverse helpers) and its correctness is carried by
+// accompanying assertion gates rather than a defining gate. The auditor
+// exempts hints from the must-be-determined rule but still requires them
+// to be live and anchored to an assertion.
+func (b *Builder) markHint(v Variable) {
+	if b.kinds[v.id] == AuditVarInternal {
+		b.kinds[v.id] = AuditVarHint
+	}
+}
+
+// markBoolUse records that a gadget relies on v being boolean (e.g. a
+// Select condition or a comparison top bit). The auditor checks every
+// such wire against the set of boolean-constrained or boolean-derived
+// wires.
+func (b *Builder) markBoolUse(v Variable, site string) {
+	b.auditBoolUses = append(b.auditBoolUses, AuditBoolUse{Var: v.id, Site: site})
+}
+
+// markBoolDerived records that v is boolean by construction (output of a
+// boolean gadget over boolean inputs), so downstream boolean uses need no
+// separate x²=x gate.
+func (b *Builder) markBoolDerived(v Variable) {
+	b.auditBoolDerived = append(b.auditBoolDerived, v.id)
+}
+
+// MarkDiscard records that a gadget deliberately leaves wire v unconsumed
+// — e.g. the sponge capacity lanes after a hash's final permutation. The
+// soundness auditor exempts marked wires (and the computation feeding
+// them) from the dangling-output rule; an output that dangles without
+// such a mark is a forgotten assertion.
+func (b *Builder) MarkDiscard(v Variable) {
+	b.auditDiscards = append(b.auditDiscards, v.id)
 }
 
 // Value returns the concrete value currently assigned to v.
@@ -187,13 +254,16 @@ func (b *Builder) Value(v Variable) fr.Element { return b.values[v.id] }
 // Public allocates a public-input variable with the given value.
 func (b *Builder) Public(val fr.Element) Variable {
 	v := b.newVar(val)
+	b.kinds[v.id] = AuditVarPublic
 	b.public = append(b.public, v.id)
 	return v
 }
 
 // Secret allocates a private witness variable with the given value.
 func (b *Builder) Secret(val fr.Element) Variable {
-	return b.newVar(val)
+	v := b.newVar(val)
+	b.kinds[v.id] = AuditVarSecret
+	return v
 }
 
 // Constant returns a variable constrained to equal the constant c.
@@ -204,10 +274,12 @@ func (b *Builder) Constant(c fr.Element) Variable {
 		return v
 	}
 	v := b.newVar(c)
+	b.kinds[v.id] = AuditVarConstant
 	var negC fr.Element
 	negC.Neg(&c)
 	// v - c = 0
 	b.gates = append(b.gates, gateTmpl{qL: fr.One(), qC: negC, a: v.id, b: v.id, c: v.id})
+	b.auditConstPins = append(b.auditConstPins, AuditConstPin{Var: v.id, Gate: len(b.gates) - 1})
 	b.constants[key] = v
 	return v
 }
@@ -344,6 +416,7 @@ func (b *Builder) AssertConst(x Variable, c fr.Element) {
 func (b *Builder) AssertBoolean(x Variable) {
 	// x·x - x = 0
 	b.gates = append(b.gates, gateTmpl{qM: frOne, qL: frNeg(frOne), a: x.id, b: x.id, c: x.id})
+	b.auditBoolCons = append(b.auditBoolCons, AuditBoolCon{Var: x.id, Gate: len(b.gates) - 1})
 }
 
 // AssertNonZero constrains x ≠ 0 (by exhibiting an inverse).

@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// This file is the read-only export surface for the soundness auditor
+// (internal/circuit/audit): a structural snapshot of the builder's gates,
+// wire values, and the annotation ledger gadgets maintain while emitting
+// constraints. The auditor consumes AuditInfo instead of the Builder so
+// mutation tests can copy and perturb the snapshot without touching
+// builder internals.
+
+// AuditGate is one recorded gate row in builder numbering (before the
+// public-input renumbering Compile performs).
+type AuditGate struct {
+	QL, QR, QO, QM, QC fr.Element
+	Kind               plonk.GateKind
+	K                  [3]fr.Element
+	A, B, C            int
+}
+
+// AuditBoolCon records an x²=x gate emitted for Var.
+type AuditBoolCon struct {
+	Var  int
+	Gate int // gate index, -1 once the gate has been deleted (mutation)
+}
+
+// AuditBoolUse records that a gadget consumed Var assuming it is boolean.
+type AuditBoolUse struct {
+	Var  int
+	Site string // gadget name, for diagnostics ("Select", "Not", ...)
+}
+
+// AuditStructBool records a wire that is boolean by a structural argument
+// spanning several gates (the IsZero y·x=0 ∧ m·x+y=1 construction); all
+// listed gates must survive for the argument to hold.
+type AuditStructBool struct {
+	Var   int
+	Gates []int // supporting gate indices; -1 marks a deleted gate
+}
+
+// AuditRange records a range-check obligation: the gates in [Start, End)
+// realize "Var fits in Bits bits", using either Booleans x²=x rows
+// (classic bit decomposition) or Lookups table rows (limb decomposition).
+// The auditor recounts the rows inside the span and compares against the
+// width the obligation asserts.
+type AuditRange struct {
+	Var        int
+	Bits       int
+	Booleans   int // expected x²=x rows in the span (classic lowering)
+	Lookups    int // expected lookup rows in the span (lookup lowering)
+	Start, End int // half-open gate-index span
+}
+
+// AuditConstPin records the v−c=0 gate pinning a Constant wire.
+type AuditConstPin struct {
+	Var  int
+	Gate int // gate index, -1 once the gate has been deleted (mutation)
+}
+
+// AuditInfo is a self-contained snapshot of a built circuit plus the
+// gadget annotation ledger, in builder wire numbering.
+type AuditInfo struct {
+	Name string // optional label for diagnostics
+
+	NbVars int
+	Values []fr.Element   // eager wire values (the witness, builder order)
+	Kinds  []AuditVarKind // wire origin classification
+	Gates  []AuditGate
+
+	LookupBits  int
+	CustomGates bool
+	MDS         [3][3]fr.Element
+	MDSSet      bool
+
+	BoolCons    []AuditBoolCon
+	BoolUses    []AuditBoolUse
+	BoolDerived []int
+	StructBools []AuditStructBool
+	Ranges      []AuditRange
+	ConstPins   []AuditConstPin
+	Discards    []int // wires deliberately left unconsumed (MarkDiscard)
+
+	Err error // deferred builder error, if any
+}
+
+// AuditInfo snapshots the builder for the soundness auditor. All slices
+// are deep copies; mutating the result does not affect the builder.
+func (b *Builder) AuditInfo() *AuditInfo {
+	info := &AuditInfo{
+		NbVars:      len(b.values),
+		Values:      append([]fr.Element(nil), b.values...),
+		Kinds:       append([]AuditVarKind(nil), b.kinds...),
+		Gates:       make([]AuditGate, len(b.gates)),
+		LookupBits:  b.lookupBits,
+		CustomGates: b.customGates,
+		MDS:         b.mds,
+		MDSSet:      b.mdsSet,
+		BoolCons:    append([]AuditBoolCon(nil), b.auditBoolCons...),
+		BoolUses:    append([]AuditBoolUse(nil), b.auditBoolUses...),
+		BoolDerived: append([]int(nil), b.auditBoolDerived...),
+		Ranges:      append([]AuditRange(nil), b.auditRanges...),
+		ConstPins:   append([]AuditConstPin(nil), b.auditConstPins...),
+		Discards:    append([]int(nil), b.auditDiscards...),
+		Err:         b.err,
+	}
+	for i, g := range b.gates {
+		info.Gates[i] = AuditGate{
+			QL: g.qL, QR: g.qR, QO: g.qO, QM: g.qM, QC: g.qC,
+			Kind: g.kind, K: g.k, A: g.a, B: g.b, C: g.c,
+		}
+	}
+	info.StructBools = make([]AuditStructBool, len(b.auditStructBools))
+	for i, sb := range b.auditStructBools {
+		info.StructBools[i] = AuditStructBool{Var: sb.Var, Gates: append([]int(nil), sb.Gates...)}
+	}
+	return info
+}
+
+// PublicIDs returns the builder-numbering ids of the public inputs, in
+// declaration order.
+func (b *Builder) PublicIDs() []int { return append([]int(nil), b.public...) }

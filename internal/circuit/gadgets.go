@@ -25,10 +25,18 @@ func (b *Builder) IsZero(x Variable) Variable {
 	}
 	y := b.newVar(yVal)
 	m := b.newVar(mVal)
+	b.markHint(y)
+	b.markHint(m)
 	// y·x = 0
 	b.gates = append(b.gates, gateTmpl{qM: frOne, a: y.id, b: x.id, c: y.id})
 	// m·x + y - 1 = 0
 	b.gates = append(b.gates, gateTmpl{qM: frOne, qO: frOne, qC: frNeg(frOne), a: m.id, b: x.id, c: y.id})
+	// y is boolean by the two-gate structural argument (y·x=0 forces y=0
+	// whenever x≠0; m·x+y=1 forces y=1 when x=0); both gates must survive.
+	b.auditStructBools = append(b.auditStructBools, AuditStructBool{
+		Var: y.id, Gates: []int{len(b.gates) - 2, len(b.gates) - 1},
+	})
+	b.markBoolDerived(y)
 	return y
 }
 
@@ -39,36 +47,54 @@ func (b *Builder) IsEqual(x, y Variable) Variable {
 
 // And returns x ∧ y for boolean inputs (callers must have asserted
 // booleanity).
-func (b *Builder) And(x, y Variable) Variable { return b.Mul(x, y) }
+func (b *Builder) And(x, y Variable) Variable {
+	b.markBoolUse(x, "And")
+	b.markBoolUse(y, "And")
+	out := b.Mul(x, y)
+	b.markBoolDerived(out)
+	return out
+}
 
 // Or returns x ∨ y for boolean inputs.
 func (b *Builder) Or(x, y Variable) Variable {
+	b.markBoolUse(x, "Or")
+	b.markBoolUse(y, "Or")
 	// x + y - x·y
 	m := b.Mul(x, y)
 	s := b.Add(x, y)
-	return b.Sub(s, m)
+	out := b.Sub(s, m)
+	b.markBoolDerived(out)
+	return out
 }
 
 // Not returns ¬x for a boolean input.
 func (b *Builder) Not(x Variable) Variable {
+	b.markBoolUse(x, "Not")
 	var minusOne fr.Element
 	minusOne.Neg(&frOne)
-	return b.AddConst(b.MulConst(x, minusOne), frOne)
+	out := b.AddConst(b.MulConst(x, minusOne), frOne)
+	b.markBoolDerived(out)
+	return out
 }
 
 // Xor returns x ⊕ y for boolean inputs.
 func (b *Builder) Xor(x, y Variable) Variable {
+	b.markBoolUse(x, "Xor")
+	b.markBoolUse(y, "Xor")
 	// x + y - 2xy
 	m := b.Mul(x, y)
 	two := fr.NewElement(2)
 	var minusTwo fr.Element
 	minusTwo.Neg(&two)
 	s := b.Add(x, y)
-	return b.Add(s, b.MulConst(m, minusTwo))
+	out := b.Add(s, b.MulConst(m, minusTwo))
+	b.markBoolDerived(out)
+	return out
 }
 
 // Select returns cond ? a : b for a boolean cond.
 func (b *Builder) Select(cond, a, bb Variable) Variable {
+	b.markBoolUse(cond, "Select")
 	d := b.Sub(a, bb)
 	m := b.Mul(cond, d)
 	return b.Add(bb, m)
@@ -78,12 +104,14 @@ func (b *Builder) Select(cond, a, bb Variable) Variable {
 // Σ 2^i·bit_i == x. It costs ~2n gates; n must cover the value's range for
 // the witness to satisfy the constraints.
 func (b *Builder) ToBits(x Variable, n int) []Variable {
+	before := len(b.gates)
 	vx := b.values[x.id]
 	val := vx.BigInt()
 	bits := make([]Variable, n)
 	for i := 0; i < n; i++ {
 		bit := fr.NewElement(uint64(val.Bit(i)))
 		bits[i] = b.newVar(bit)
+		b.markHint(bits[i])
 		b.AssertBoolean(bits[i])
 	}
 	// Accumulate: acc_{i+1} = acc_i + 2^i·bit_i, then acc == x.
@@ -95,6 +123,9 @@ func (b *Builder) ToBits(x Variable, n int) []Variable {
 		coeff.Lsh(coeff, 1)
 	}
 	b.AssertEqual(acc, x)
+	b.auditRanges = append(b.auditRanges, AuditRange{
+		Var: x.id, Bits: n, Booleans: n, Start: before, End: len(b.gates),
+	})
 	return bits
 }
 
@@ -134,6 +165,7 @@ func (b *Builder) assertRangeLookup(x Variable, n int) {
 		b.Fail("circuit: AssertRange with %d bits", n)
 		return
 	}
+	before := len(b.gates)
 	k := b.lookupBits
 	lookupLimb := func(limb Variable, width int) {
 		if width == k {
@@ -145,6 +177,9 @@ func (b *Builder) assertRangeLookup(x Variable, n int) {
 	}
 	if n <= k {
 		lookupLimb(x, n)
+		b.auditRanges = append(b.auditRanges, AuditRange{
+			Var: x.id, Bits: n, Lookups: 1, Start: before, End: len(b.gates),
+		})
 		return
 	}
 	nLimbs := (n + k - 1) / k
@@ -156,6 +191,7 @@ func (b *Builder) assertRangeLookup(x Variable, n int) {
 		lv := new(big.Int).Rsh(val, uint(j*k))
 		lv.And(lv, mask)
 		limbs[j] = b.newVar(fr.FromBig(lv))
+		b.markHint(limbs[j])
 		w := k
 		if j == nLimbs-1 {
 			w = lastW
@@ -171,6 +207,9 @@ func (b *Builder) assertRangeLookup(x Variable, n int) {
 		acc = b.Lc2(acc, frOne, limbs[j], fr.FromBig(coeff))
 	}
 	b.AssertEqual(acc, x)
+	b.auditRanges = append(b.auditRanges, AuditRange{
+		Var: x.id, Bits: n, Lookups: nLimbs, Start: before, End: len(b.gates),
+	})
 }
 
 // topBit returns bit n of x for x < 2^{n+1} — the sign probe behind the
@@ -187,6 +226,8 @@ func (b *Builder) topBit(x Variable, n int) Variable {
 	lowVal := new(big.Int).Sub(val, new(big.Int).Lsh(highVal, uint(n)))
 	high := b.newVar(fr.FromBig(highVal))
 	low := b.newVar(fr.FromBig(lowVal))
+	b.markHint(high)
+	b.markHint(low)
 	b.AssertBoolean(high)
 	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(n)))
 	recon := b.Lc2(high, pow, low, frOne)
@@ -339,6 +380,8 @@ func (b *Builder) fixedRescale(v Variable) Variable {
 	r := new(big.Int).And(wVal, new(big.Int).SetUint64((1<<FixedShift)-1))
 	quot := b.newVar(fr.FromBig(q))
 	rem := b.newVar(fr.FromBig(r))
+	b.markHint(quot)
+	b.markHint(rem)
 
 	// w = quot·2^shift + rem, rem < 2^shift, quot < 2^(fixedBound+1-shift).
 	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), FixedShift))
@@ -396,6 +439,8 @@ func (b *Builder) FixedDivPos(x, y Variable, n int) Variable {
 	}
 	quot := b.newVar(fr.FromBig(q))
 	rem := b.newVar(fr.FromBig(r))
+	b.markHint(quot)
+	b.markHint(rem)
 
 	pow := fr.FromBig(new(big.Int).Lsh(big.NewInt(1), FixedShift))
 	lhs := b.MulConst(x, pow)

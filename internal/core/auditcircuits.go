@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// This file exports small, fully-witnessed instantiations of the π-family
+// circuits for the soundness auditor (internal/circuit/audit). The
+// builders are the same unexported constructors the prover uses — the
+// auditor must see the production constraint structure, not a test
+// double — instantiated with consistent statements so the eager witness
+// satisfies every gate.
+
+// AuditCircuit is a named circuit constructor for the auditor registry.
+type AuditCircuit struct {
+	Name  string
+	Build func() (*circuit.Builder, error)
+}
+
+// auditDataset returns a deterministic n-element dataset of small values
+// (they double as fixed-point inputs for predicate circuits).
+func auditDataset(n int) Dataset {
+	d := make(Dataset, n)
+	for i := range d {
+		d[i] = fr.NewElement(uint64(i + 3))
+	}
+	return d
+}
+
+// AuditCircuits returns the core π-family circuits (encryption,
+// duplication, aggregation, partition, validation, key negotiation),
+// each instantiated small with a consistent witness.
+func AuditCircuits() []AuditCircuit {
+	return []AuditCircuit{
+		{Name: "core/pi_e", Build: func() (*circuit.Builder, error) {
+			data := auditDataset(4)
+			key := fr.NewElement(77)
+			ct := data.Encrypt(key)
+			cd, od := data.Commit()
+			ck, ok := KeyCommit(key)
+			st := &EncryptionStatement{Nonce: ct.Nonce, DataCommitment: cd, KeyCommitment: ck, Ciphertext: ct.Blocks}
+			w := &EncryptionWitness{Data: data, Key: key, DataBlinder: od, KeyBlinder: ok}
+			return buildEncryptionCircuit(st, w), nil
+		}},
+		{Name: "core/pi_t/dup", Build: func() (*circuit.Builder, error) {
+			data := auditDataset(3)
+			cs, os := data.Commit()
+			cd, od := data.Commit()
+			return buildDuplicationCircuit(len(data), data, cs, cd, os, od), nil
+		}},
+		{Name: "core/pi_t/agg", Build: func() (*circuit.Builder, error) {
+			srcs := []Dataset{auditDataset(2), auditDataset(3)}
+			var derived Dataset
+			csList := make([]fr.Element, len(srcs))
+			osList := make([]fr.Element, len(srcs))
+			sizes := make([]int, len(srcs))
+			for i, s := range srcs {
+				csList[i], osList[i] = s.Commit()
+				sizes[i] = len(s)
+				derived = append(derived, s...)
+			}
+			cd, od := derived.Commit()
+			return buildAggregationCircuit(sizes, srcs, csList, cd, osList, od), nil
+		}},
+		{Name: "core/pi_t/part", Build: func() (*circuit.Builder, error) {
+			src := auditDataset(5)
+			cs, os := src.Commit()
+			sizes := []int{2, 3}
+			cdList := make([]fr.Element, len(sizes))
+			odList := make([]fr.Element, len(sizes))
+			off := 0
+			for k, n := range sizes {
+				piece := src[off : off+n].Clone()
+				cdList[k], odList[k] = piece.Commit()
+				off += n
+			}
+			return buildPartitionCircuit(sizes, src, cs, cdList, os, odList), nil
+		}},
+		{Name: "core/pi_p/range", Build: func() (*circuit.Builder, error) {
+			data := auditDataset(4)
+			key := fr.NewElement(99)
+			ct := data.Encrypt(key)
+			cd, od := data.Commit()
+			st := &ValidationStatement{Nonce: ct.Nonce, DataCommitment: cd, Ciphertext: ct.Blocks}
+			w := &EncryptionWitness{Data: data, Key: key, DataBlinder: od}
+			return buildValidationCircuit(RangePredicate{Bits: 8}, st, w), nil
+		}},
+		{Name: "core/pi_k", Build: func() (*circuit.Builder, error) {
+			k := fr.NewElement(1234)
+			kv := fr.NewElement(5678)
+			ck, ok := KeyCommit(k)
+			var kc fr.Element
+			kc.Add(&k, &kv)
+			st := &KeyStatement{KC: kc, KeyCommitment: ck, HV: HashChallenge(kv)}
+			return buildKeyCircuit(st, &KeyWitness{K: k, KV: kv, KeyBlinder: ok}), nil
+		}},
+	}
+}
+
+// AuditProcessingCircuit builds the production π_t processing circuit for
+// a Processor over src (with the lookup/custom-gate lowering if the
+// processor opts in), witnessed consistently end-to-end.
+func AuditProcessingCircuit(p Processor, src Dataset) (*circuit.Builder, error) {
+	derived, err := p.Apply(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: audit processing %s: %w", p.Name(), err)
+	}
+	cs, os := src.Commit()
+	cd, od := derived.Commit()
+	return buildProcessingCircuit(p, len(src), src, cs, cd, os, od), nil
+}

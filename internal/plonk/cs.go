@@ -120,6 +120,12 @@ func (cs *ConstraintSystem) NbVariables() int { return cs.nbVariables }
 // NbGates returns the number of gates (including public-input gates).
 func (cs *ConstraintSystem) NbGates() int { return len(cs.gates) }
 
+// Gates returns a copy of the gate list (including the public-input
+// exposure gates at the front). The soundness auditor walks this to run
+// its structural checks against the compiled system rather than the
+// builder's pre-compilation view.
+func (cs *ConstraintSystem) Gates() []Gate { return append([]Gate(nil), cs.gates...) }
+
 // NbConstraints is an alias for NbGates, the paper's "number of
 // constraints" metric.
 func (cs *ConstraintSystem) NbConstraints() int { return len(cs.gates) }

@@ -248,13 +248,21 @@ func GadgetHash(b *circuit.Builder, msg []circuit.Variable) circuit.Variable {
 	if len(msg) == 0 {
 		state = GadgetPermute(b, state)
 	}
+	// The squeeze reads only lane 0; the capacity lanes of the final
+	// permutation are discarded by design (tell the soundness auditor so
+	// it does not report them as forgotten outputs).
+	b.MarkDiscard(state[1])
+	b.MarkDiscard(state[2])
 	return state[0]
 }
 
 // GadgetCompress emits the 2-to-1 compression as constraints.
 func GadgetCompress(b *circuit.Builder, l, r circuit.Variable) circuit.Variable {
 	state := [Width]circuit.Variable{l, r, b.Constant(fr.NewElement(2))}
-	return GadgetPermute(b, state)[0]
+	out := GadgetPermute(b, state)
+	b.MarkDiscard(out[1])
+	b.MarkDiscard(out[2])
+	return out[0]
 }
 
 // GadgetCommit emits the commitment computation as constraints: the
