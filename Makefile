@@ -16,7 +16,7 @@ GO ?= go
 RACE_PKGS = ./internal/poly/... ./internal/bn254/... ./internal/plonk/... ./internal/kzg/... \
 	./internal/chain/... ./internal/node/... ./internal/indexer/... ./internal/contracts/... \
 	./internal/storage/... ./internal/core/... ./internal/p2p/... ./cmd/zkdet-node/... \
-	./internal/wal/... ./internal/snapshot/...
+	./internal/wal/... ./internal/snapshot/... ./internal/ct/...
 
 .PHONY: check vet build lint audit test race fuzz-smoke bench bench-verify bench-p2p bench-exec bench-wal node-demo cluster-demo cluster-demo-durable
 
@@ -67,6 +67,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=10s ./internal/snapshot/
 	$(GO) test -run='^$$' -fuzz='^FuzzProofFromBytes$$' -fuzztime=10s ./internal/plonk/
 	$(GO) test -run='^$$' -fuzz='^FuzzLogUpWitness$$' -fuzztime=10s ./internal/plonk/
+	$(GO) test -run='^$$' -fuzz='^FuzzCommitmentDecode$$' -fuzztime=10s ./internal/ct/
+	$(GO) test -run='^$$' -fuzz='^FuzzCTProofDecode$$' -fuzztime=10s ./internal/ct/
 
 # Package-level prover-stack benchmarks (Domain.FFT, G1MSM, kzg.Commit,
 # plonk.Prove at 2^10..2^16); see EXPERIMENTS.md for recorded trajectories.

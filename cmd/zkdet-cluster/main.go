@@ -14,7 +14,10 @@
 //     the mint completes only after the heal;
 //
 //  4. sell an asset through the on-chain escrow, whose settle transaction
-//     carries a π_k that every hop batch-verifies before re-gossip;
+//     carries a π_k that every hop batch-verifies before re-gossip — then
+//     sell another against a confidential note: the price rides as a
+//     Pedersen commitment, screened by the same gossip proof checker, and
+//     only the designated auditor's key can open it afterwards;
 //
 //  5. with -data-dir, SIGKILL one member mid-run — its process state is
 //     abandoned (no shutdown path), the node is rebuilt from its data
@@ -38,7 +41,9 @@ import (
 	"time"
 
 	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/contracts"
 	"github.com/zkdet/zkdet/internal/core"
+	"github.com/zkdet/zkdet/internal/ct"
 	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/node"
 	"github.com/zkdet/zkdet/internal/p2p"
@@ -80,6 +85,11 @@ func run(cfg clusterConfig) error {
 
 	alice := chain.AddressFromString("alice")
 	bob := chain.AddressFromString("bob")
+	issuer := chain.AddressFromString("issuer")
+	// The designated auditor: every member bakes the same public key into
+	// its genesis; only the secret below can open committed amounts.
+	auditor := ct.AuditorKeyFromSecret(fr.NewElement(0xc1a57e2))
+	auditorPub := auditor.PublicKey()
 
 	fmt.Printf("== zkdet-cluster: %d nodes, seed %d ==\n", cfg.size, cfg.seed)
 	fmt.Println("-- building shared proving system and per-node deployments")
@@ -132,8 +142,14 @@ func run(cfg clusterConfig) error {
 		c := chain.New()
 		c.Faucet(alice, 1_000_000)
 		c.Faucet(bob, 1_000_000)
+		c.Faucet(issuer, 1_000_000)
 		m, _, err := core.NewMarketplaceWith(sys, c, bs)
 		if err != nil {
+			return p2p.NodeSetup{}, nil, err
+		}
+		// Part of genesis like the rest of the suite: identical issuer and
+		// auditor key on every member, so replicas stay bit-identical.
+		if _, err := m.EnableConfidential(issuer, auditorPub); err != nil {
 			return p2p.NodeSetup{}, nil, err
 		}
 		m.AttachIndexer() // before Recover: the indexer re-sees restored blocks
@@ -283,6 +299,26 @@ func run(cfg clusterConfig) error {
 	}
 	fmt.Printf("   bob bought token #%d and decrypted %d elements\n", a3.TokenID, len(bought))
 
+	fmt.Println("-- phase 5b: confidential sale (Pedersen-committed price, auditable by key)")
+	payNotes, err := driver.ConfidentialMint([]core.ConfPayment{{Value: 7500, To: bob}})
+	if err != nil {
+		return fmt.Errorf("confidential mint: %w", err)
+	}
+	boughtConf, err := driver.SellConfidential(2, alice, bob, a1, core.RangePredicate{Bits: 16}, payNotes[0])
+	if err != nil {
+		return fmt.Errorf("confidential sale: %w", err)
+	}
+	if len(boughtConf) != len(a1.Data) || !boughtConf[0].Equal(&a1.Data[0]) {
+		return fmt.Errorf("confidential sale delivered wrong plaintext")
+	}
+	note, err := contracts.ReadCTNote(driver.Chain, contracts.ConfidentialTokenName, payNotes[0].ID)
+	if err != nil {
+		return err
+	}
+	dig := note.Comm.Digest()
+	fmt.Printf("   bob paid with note #%d — on-chain only the commitment %x… is visible\n",
+		payNotes[0].ID, dig[:6])
+
 	if cfg.dataDir != "" {
 		if err := crashPhase(ctx, cl, cfg, buildMember, tune, durables, mkts); err != nil {
 			return err
@@ -321,6 +357,20 @@ func run(cfg clusterConfig) error {
 		}
 		fmt.Printf("   token #%d: identical AuditLineage on all %d nodes\n", id, size)
 	}
+
+	// Auditor-mode audit on every node: the designated key opens the
+	// confidential payment behind exchange #2 — same opened amount on every
+	// replica, while plain audits (above) never saw a value.
+	for i, m := range mkts {
+		rep, err := m.AuditLineage(reg, a1.TokenID, core.WithAuditorKey(auditor))
+		if err != nil {
+			return fmt.Errorf("node %d auditor-mode audit: %w", i, err)
+		}
+		if len(rep.ConfidentialPayments) != 1 || rep.ConfidentialPayments[0].Value != 7500 {
+			return fmt.Errorf("node %d auditor opening mismatch: %+v", i, rep.ConfidentialPayments)
+		}
+	}
+	fmt.Printf("   auditor key opens the hidden price (7500) identically on all %d nodes\n", size)
 
 	printHeights(cl, "-- final state:")
 	sent, delivered, dropped, bytes := cl.Net.Stats()

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"github.com/zkdet/zkdet/internal/contracts"
+	"github.com/zkdet/zkdet/internal/ct"
+	"github.com/zkdet/zkdet/internal/fr"
 )
 
 // bootServer starts an in-process daemon behind an httptest listener.
@@ -247,5 +249,88 @@ func TestE2EClientsShareNode(t *testing.T) {
 	}
 	if report.Provenance != 16 {
 		t.Fatalf("provenance verified for %d/16", report.Provenance)
+	}
+}
+
+// TestGatewayConfidential drives the confidential-token RPC family end to
+// end: enable, mint, inspect (commitment only), transfer, and auditor
+// opening — including the disabled-by-default and wrong-key rejections.
+func TestGatewayConfidential(t *testing.T) {
+	_, c := bootServer(t, testCfg())
+
+	for _, who := range []string{"issuer", "alice", "bob"} {
+		if err := c.call("zkdet_faucet", map[string]any{"address": who, "amount": 10_000_000}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Disabled by default.
+	if err := c.call("zkdet_ctMint", map[string]any{"pays": []map[string]any{{"value": 1, "to": "alice"}}}, nil); err == nil {
+		t.Fatal("mint accepted before ctEnable")
+	}
+
+	ak := ct.AuditorKeyFromSecret(fr.NewElement(0x5ec7))
+	pub := ak.PublicKey()
+	pubB := pub.Bytes()
+	if err := c.call("zkdet_ctEnable", map[string]any{
+		"issuer": "issuer", "auditorPub": hexBytes(pubB[:]),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	type notesResult struct {
+		Notes []ctNoteOut `json:"notes"`
+	}
+	var minted notesResult
+	if err := c.call("zkdet_ctMint", map[string]any{
+		"pays": []map[string]any{{"value": 1200, "to": "alice"}},
+	}, &minted); err != nil {
+		t.Fatal(err)
+	}
+	if len(minted.Notes) != 1 || minted.Notes[0].Value != 1200 || minted.Notes[0].Blinder == "" {
+		t.Fatalf("mint result %+v", minted)
+	}
+
+	// The public view carries the commitment but never the amount.
+	var view ctNoteOut
+	if err := c.call("zkdet_ctNote", map[string]any{"id": minted.Notes[0].ID}, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Value != 0 || view.Blinder != "" || view.Status != "unspent" || view.Commitment == "" {
+		t.Fatalf("public note view leaks: %+v", view)
+	}
+
+	var moved notesResult
+	if err := c.call("zkdet_ctTransfer", map[string]any{
+		"sender": "alice",
+		"inputs": []map[string]any{{
+			"id": minted.Notes[0].ID, "value": 1200, "blinder": minted.Notes[0].Blinder,
+		}},
+		"pays": []map[string]any{{"value": 700, "to": "bob"}, {"value": 500, "to": "alice"}},
+	}, &moved); err != nil {
+		t.Fatal(err)
+	}
+	if len(moved.Notes) != 2 || moved.Notes[0].Value != 700 || moved.Notes[1].Value != 500 {
+		t.Fatalf("transfer result %+v", moved)
+	}
+
+	// A wrong auditor secret is refused; the right one opens the amount.
+	wrong := fr.NewElement(0xbad)
+	wrongB := wrong.Bytes()
+	if err := c.call("zkdet_ctAudit", map[string]any{
+		"auditorSecret": hexBytes(wrongB[:]), "noteId": moved.Notes[0].ID,
+	}, nil); err == nil {
+		t.Fatal("wrong auditor key accepted")
+	}
+	sk := fr.NewElement(0x5ec7)
+	skB := sk.Bytes()
+	var opened notesResult
+	if err := c.call("zkdet_ctAudit", map[string]any{
+		"auditorSecret": hexBytes(skB[:]), "noteId": moved.Notes[0].ID,
+	}, &opened); err != nil {
+		t.Fatal(err)
+	}
+	if len(opened.Notes) != 1 || opened.Notes[0].Value != 700 {
+		t.Fatalf("auditor opening %+v", opened)
 	}
 }

@@ -9,6 +9,10 @@ import (
 	"net/http"
 
 	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/contracts"
+	"github.com/zkdet/zkdet/internal/core"
+	"github.com/zkdet/zkdet/internal/ct"
+	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/indexer"
 	"github.com/zkdet/zkdet/internal/node"
 	"github.com/zkdet/zkdet/internal/storage"
@@ -29,6 +33,11 @@ import (
 //	zkdet_nextNonce        next pool-assigned nonce for an address
 //	zkdet_storagePut       store a blob, returns its URI
 //	zkdet_storageGet       fetch a blob by URI
+//	zkdet_ctEnable         deploy the confidential-token subsystem (devnet only)
+//	zkdet_ctMint           mint confidential notes (issuer; returns openings)
+//	zkdet_ctTransfer       spend notes into new outputs (returns openings)
+//	zkdet_ctNote           public view of a note: owner, status, commitment
+//	zkdet_ctAudit          open hidden amounts with the designated auditor key
 type gateway struct {
 	srv *server
 }
@@ -112,6 +121,16 @@ func (g *gateway) dispatch(r *http.Request, req *rpcRequest) (any, *rpcError) {
 		return g.storagePut(req.Params)
 	case "zkdet_storageGet":
 		return g.storageGet(req.Params)
+	case "zkdet_ctEnable":
+		return g.ctEnable(req.Params)
+	case "zkdet_ctMint":
+		return g.ctMint(req.Params)
+	case "zkdet_ctTransfer":
+		return g.ctTransfer(req.Params)
+	case "zkdet_ctNote":
+		return g.ctNote(req.Params)
+	case "zkdet_ctAudit":
+		return g.ctAudit(req.Params)
 	default:
 		return nil, &rpcError{Code: codeNoMethod, Message: fmt.Sprintf("unknown method %q", req.Method)}
 	}
@@ -443,6 +462,279 @@ func (g *gateway) nextNonce(raw json.RawMessage) (any, *rpcError) {
 		return nil, badParams(err)
 	}
 	return map[string]uint64{"nonce": g.srv.node.NextNonce(a)}, nil
+}
+
+// --- confidential tokens ---
+
+// ctPayIn is one requested output of a confidential mint or transfer.
+type ctPayIn struct {
+	Value uint64 `json:"value"`
+	To    string `json:"to"`
+}
+
+// ctNoteOut is the wallet view of a note: the public record plus — only on
+// the RPC that created it — the opening (value, blinder) the owner needs
+// to spend it. The opening never appears on-chain.
+type ctNoteOut struct {
+	ID         uint64 `json:"id"`
+	Owner      string `json:"owner"`
+	Status     string `json:"status"`
+	Commitment string `json:"commitment"`
+	Digest     string `json:"digest"`
+	Value      uint64 `json:"value,omitempty"`
+	Blinder    string `json:"blinder,omitempty"`
+}
+
+func ctStatusString(s byte) string {
+	switch s {
+	case 1:
+		return "unspent"
+	case 2:
+		return "spent"
+	case 3:
+		return "locked"
+	default:
+		return fmt.Sprintf("unknown(%d)", s)
+	}
+}
+
+func ctNoteView(n *contracts.CTNote) ctNoteOut {
+	comm := n.Comm.Bytes()
+	dig := n.Comm.Digest()
+	return ctNoteOut{
+		ID: n.ID, Owner: n.Owner.String(), Status: ctStatusString(n.Status),
+		Commitment: hexBytes(comm[:]), Digest: hexBytes(dig[:]),
+	}
+}
+
+func (g *gateway) ctDeployment() (*core.ConfidentialDeployment, *rpcError) {
+	d := g.srv.mkt.Confidential()
+	if d == nil {
+		return nil, &rpcError{Code: codeExecution, Message: core.ErrConfidentialDisabled.Error()}
+	}
+	return d, nil
+}
+
+// ctEnable deploys the confidential subsystem. Devnet-only, like the
+// faucet: a production genesis would bake the deployment in.
+func (g *gateway) ctEnable(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		Issuer     string `json:"issuer"`
+		AuditorPub string `json:"auditorPub"` // 64-byte G1 point, hex
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	issuer, err := parseAddr(p.Issuer)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	pubRaw, err := parseBytes(p.AuditorPub)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	pub, err := ct.CommitmentFromBytes(pubRaw)
+	if err != nil {
+		return nil, badParams(fmt.Errorf("auditorPub: %w", err))
+	}
+	d, err := g.srv.mkt.EnableConfidential(issuer, pub.P)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return map[string]any{
+		"issuer": d.Issuer.String(), "token": contracts.ConfidentialTokenName,
+		"verifier": core.PiCTVerifierName,
+		"verifierGas": d.VerifierGas, "tokenGas": d.TokenGas,
+	}, nil
+}
+
+func (g *gateway) ctMint(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		Pays []ctPayIn `json:"pays"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	if _, rerr := g.ctDeployment(); rerr != nil {
+		return nil, rerr
+	}
+	pays, rerr := g.ctPayments(p.Pays)
+	if rerr != nil {
+		return nil, rerr
+	}
+	notes, err := g.srv.mkt.ConfidentialMint(pays)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return map[string]any{"notes": g.ctWalletNotes(notes)}, nil
+}
+
+func (g *gateway) ctTransfer(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		Sender string `json:"sender"`
+		Inputs []struct {
+			ID      uint64 `json:"id"`
+			Value   uint64 `json:"value"`
+			Blinder string `json:"blinder"` // hex field element
+		} `json:"inputs"`
+		Pays []ctPayIn `json:"pays"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	if _, rerr := g.ctDeployment(); rerr != nil {
+		return nil, rerr
+	}
+	sender, err := parseAddr(p.Sender)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	ins := make([]*core.ConfNote, len(p.Inputs))
+	for i, in := range p.Inputs {
+		rec, err := contracts.ReadCTNote(g.srv.mkt.Chain, contracts.ConfidentialTokenName, in.ID)
+		if err != nil {
+			return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+		}
+		blinder, err := parseBytes(in.Blinder)
+		if err != nil {
+			return nil, badParams(err)
+		}
+		r, err := fr.FromBytesCanonical(blinder)
+		if err != nil {
+			return nil, badParams(fmt.Errorf("input %d blinder: %w", in.ID, err))
+		}
+		ins[i] = &core.ConfNote{
+			ID: rec.ID, Owner: rec.Owner, Comm: rec.Comm,
+			Opening: ct.Opening{V: in.Value, R: r},
+		}
+	}
+	pays, rerr := g.ctPayments(p.Pays)
+	if rerr != nil {
+		return nil, rerr
+	}
+	notes, err := g.srv.mkt.ConfidentialTransfer(sender, ins, pays)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return map[string]any{"notes": g.ctWalletNotes(notes)}, nil
+}
+
+func (g *gateway) ctPayments(pays []ctPayIn) ([]core.ConfPayment, *rpcError) {
+	out := make([]core.ConfPayment, len(pays))
+	for i, pay := range pays {
+		to, err := parseAddr(pay.To)
+		if err != nil {
+			return nil, badParams(err)
+		}
+		out[i] = core.ConfPayment{Value: pay.Value, To: to}
+	}
+	return out, nil
+}
+
+func (g *gateway) ctWalletNotes(notes []*core.ConfNote) []ctNoteOut {
+	out := make([]ctNoteOut, len(notes))
+	for i, n := range notes {
+		comm := n.Comm.Bytes()
+		dig := n.Comm.Digest()
+		blinder := n.Opening.R.Bytes()
+		out[i] = ctNoteOut{
+			ID: n.ID, Owner: n.Owner.String(), Status: "unspent",
+			Commitment: hexBytes(comm[:]), Digest: hexBytes(dig[:]),
+			Value: n.Opening.V, Blinder: hexBytes(blinder[:]),
+		}
+	}
+	return out
+}
+
+func (g *gateway) ctNote(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		ID uint64 `json:"id"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	rec, err := contracts.ReadCTNote(g.srv.mkt.Chain, contracts.ConfidentialTokenName, p.ID)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	return ctNoteView(rec), nil
+}
+
+// ctAudit opens hidden amounts with the designated auditor's secret key.
+// With noteId it opens one note; otherwise it enumerates the contract's
+// settled exchanges (optionally filtered by tokenId) and opens each
+// payment note — the designated-auditor view of AuditLineage.
+func (g *gateway) ctAudit(raw json.RawMessage) (any, *rpcError) {
+	var p struct {
+		AuditorSecret string `json:"auditorSecret"` // hex field element
+		NoteID        uint64 `json:"noteId"`
+		TokenID       uint64 `json:"tokenId"`
+	}
+	if rerr := decodeParams(raw, &p); rerr != nil {
+		return nil, rerr
+	}
+	d, rerr := g.ctDeployment()
+	if rerr != nil {
+		return nil, rerr
+	}
+	skRaw, err := parseBytes(p.AuditorSecret)
+	if err != nil {
+		return nil, badParams(err)
+	}
+	sk, err := fr.FromBytesCanonical(skRaw)
+	if err != nil {
+		return nil, badParams(fmt.Errorf("auditorSecret: %w", err))
+	}
+	ak := ct.AuditorKeyFromSecret(sk)
+	if pub := ak.PublicKey(); !pub.Equal(&d.AuditorPub) {
+		return nil, &rpcError{Code: codeExecution, Message: "auditorSecret does not match the deployed auditor key"}
+	}
+	params := ct.DefaultParams()
+	openNote := func(id uint64) (ctNoteOut, *rpcError) {
+		rec, err := contracts.ReadCTNote(g.srv.mkt.Chain, contracts.ConfidentialTokenName, id)
+		if err != nil {
+			return ctNoteOut{}, &rpcError{Code: codeExecution, Message: err.Error()}
+		}
+		op, err := ak.Open(params, rec.Comm, &rec.Audit)
+		if err != nil {
+			return ctNoteOut{}, &rpcError{Code: codeExecution, Message: fmt.Sprintf("opening note %d: %v", id, err)}
+		}
+		view := ctNoteView(rec)
+		view.Value = op.V
+		return view, nil
+	}
+	if p.NoteID != 0 {
+		view, rerr := openNote(p.NoteID)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return map[string]any{"notes": []ctNoteOut{view}}, nil
+	}
+	settlements, err := contracts.ReadCTSettlements(g.srv.mkt.Chain, contracts.ConfidentialTokenName)
+	if err != nil {
+		return nil, &rpcError{Code: codeExecution, Message: err.Error()}
+	}
+	type paymentOut struct {
+		ExchangeID uint64 `json:"exchangeId"`
+		TokenID    uint64 `json:"tokenId"`
+		NoteID     uint64 `json:"noteId"`
+		Value      uint64 `json:"value"`
+	}
+	payments := []paymentOut{}
+	for _, s := range settlements {
+		if !s.Settled || (p.TokenID != 0 && s.TokenID != p.TokenID) {
+			continue
+		}
+		view, rerr := openNote(s.NoteID)
+		if rerr != nil {
+			return nil, rerr
+		}
+		payments = append(payments, paymentOut{
+			ExchangeID: s.ExchangeID, TokenID: s.TokenID,
+			NoteID: s.NoteID, Value: view.Value,
+		})
+	}
+	return map[string]any{"payments": payments}, nil
 }
 
 func (g *gateway) storagePut(raw json.RawMessage) (any, *rpcError) {

@@ -144,6 +144,12 @@ func cmdLoad(args []string) error {
 	if report.Provenance != report.Clients {
 		return fmt.Errorf("provenance verification failed for %d clients", report.Clients-report.Provenance)
 	}
+	if *workload == "exchange" {
+		fmt.Println("confidential showcase: mint a hidden-amount note, split it, open it with the auditor key…")
+		if err := runConfidentialShowcase("http://" + bound); err != nil {
+			return fmt.Errorf("confidential showcase: %w", err)
+		}
+	}
 	var stats map[string]any
 	if err := newRPCClient("http://"+bound).call("zkdet_stats", map[string]any{}, &stats); err == nil {
 		out, _ := json.MarshalIndent(stats, "", "  ")

@@ -17,6 +17,7 @@ import (
 	"github.com/zkdet/zkdet/internal/apps/transformer"
 	"github.com/zkdet/zkdet/internal/circuit"
 	"github.com/zkdet/zkdet/internal/core"
+	"github.com/zkdet/zkdet/internal/ct"
 	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/mimc"
 	"github.com/zkdet/zkdet/internal/poseidon"
@@ -132,6 +133,12 @@ func Entries() []Entry {
 			msg := []circuit.Variable{b.Secret(fr.NewElement(7)), b.Secret(fr.NewElement(8)), b.Secret(fr.NewElement(9))}
 			exposed(b, poseidon.GadgetHash(b, msg))
 			return snapshot("hash/poseidon-custom", b)
+		}},
+		{Name: "ct/pi_ct", Build: func() (*circuit.AuditInfo, error) {
+			// The confidential-token range circuit: AssertRange(v, 24) over
+			// the lookup table plus the sigma-glue equations binding v to
+			// the transfer proof's response and nonce commitment.
+			return snapshot("ct/pi_ct", ct.AuditRangeCircuit())
 		}},
 	}
 

@@ -4,19 +4,26 @@ import (
 	"fmt"
 
 	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/ct"
 	"github.com/zkdet/zkdet/internal/plonk"
 )
 
 // BlockProofChecker batch-verifies the Plonk proofs carried by a block's
 // transactions before they execute. The block producer hands it the popped
 // transactions; it recognises the proof-carrying ones (direct verifier
-// calls and escrow settlements), folds all proofs against the same
-// verifying key into one pairing check, and marks the valid ones
+// calls, escrow settlements, and confidential-token transfers), folds the
+// proofs into as few pairing checks as possible, and marks the valid ones
 // pre-verified on their verifier contract — execution then charges the
 // amortised gas schedule and skips the pairing. Invalid proofs are
 // reported by index so the producer can evict them without wasting block
 // space; plonk.Batch's bisection isolates offenders in O(k·log n) pairing
 // checks.
+//
+// A transaction can carry several proofs (a confidential transfer has one
+// π_ct per output); proofs under verifying keys that share an SRS (equal
+// G2 tail) fold into a single pairing via plonk.Batch.AddFor, so π_k
+// settlements and π_ct range proofs in the same block cost one pairing
+// check total when their keys came from the same ceremony.
 //
 // It implements the node package's SealVerifier interface structurally,
 // keeping the dependency pointing from the application layer down to the
@@ -24,14 +31,16 @@ import (
 type BlockProofChecker struct {
 	verifiers map[string]*Verifier
 	escrows   map[string]*Escrow
+	cts       map[string]*ConfidentialToken
 }
 
 // NewBlockProofChecker returns an empty checker; register the deployed
-// contracts with AddVerifier/AddEscrow.
+// contracts with AddVerifier/AddEscrow/AddConfidential.
 func NewBlockProofChecker() *BlockProofChecker {
 	return &BlockProofChecker{
 		verifiers: make(map[string]*Verifier),
 		escrows:   make(map[string]*Escrow),
+		cts:       make(map[string]*ConfidentialToken),
 	}
 }
 
@@ -47,32 +56,78 @@ func (bc *BlockProofChecker) AddEscrow(name string, e *Escrow) {
 	bc.escrows[name] = e
 }
 
-// extract recognises a proof-carrying transaction and returns its target
-// verifier plus the verify calldata; ok is false for everything else
-// (transfers, mints, opens, refunds, unknown contracts).
-func (bc *BlockProofChecker) extract(tx *chain.Transaction) (*Verifier, []byte, bool) {
+// AddConfidential registers a deployed confidential-token contract: its
+// mint/transfer transactions get a stateless sigma pre-check (balance and
+// auditor-ciphertext consistency, no chain state needed) and their π_ct
+// range proofs join the seal-time fold against the registered range
+// verifier.
+func (bc *BlockProofChecker) AddConfidential(name string, tok *ConfidentialToken) {
+	bc.cts[name] = tok
+}
+
+// proofItem is one Plonk proof riding in a transaction, targeted at a
+// registered verifier contract.
+type proofItem struct {
+	v    *Verifier
+	args []byte // verify calldata; digest(args) is the pre-verification key
+}
+
+// extractAll recognises a proof-carrying transaction and returns every
+// Plonk proof it carries. A non-nil error means the transaction fails a
+// stateless pre-check (malformed or forged confidential transfer) and
+// should be dropped without wasting a pairing on it. ok is false for
+// transactions that carry no recognisable proof.
+func (bc *BlockProofChecker) extractAll(tx *chain.Transaction) ([]proofItem, bool, error) {
 	if v, found := bc.verifiers[tx.Contract]; found && tx.Method == "verify" {
-		return v, tx.Args, true
+		return []proofItem{{v: v, args: tx.Args}}, true, nil
 	}
 	if e, found := bc.escrows[tx.Contract]; found && tx.Method == "settle" {
 		parts, err := DecodeArgsVariadic(tx.Args)
 		if err != nil || len(parts) < 3 {
-			return nil, nil, false // malformed; let it revert on-chain
+			return nil, false, nil // malformed; let it revert on-chain
 		}
 		v, found := bc.verifiers[e.verifierName]
 		if !found {
-			return nil, nil, false
+			return nil, false, nil
 		}
 		// settle(id, kc, verifyParts…): the escrow forwards
 		// EncodeArgs(verifyParts…) to its verifier, so that is the
 		// calldata to batch and to mark pre-verified.
-		return v, EncodeArgs(parts[2:]...), true
+		return []proofItem{{v: v, args: EncodeArgs(parts[2:]...)}}, true, nil
 	}
-	return nil, nil, false
+	if tok, found := bc.cts[tx.Contract]; found && (tx.Method == "mint" || tx.Method == "transfer") {
+		v, vfound := bc.verifiers[tok.rangeVerifierName]
+		if !vfound {
+			return nil, false, nil
+		}
+		d, err := DecodeCTTransfer(tx.Args)
+		if err != nil {
+			return nil, true, fmt.Errorf("%w: %w", ErrCTProofRejected, err)
+		}
+		// The sigma layer is stateless — input commitments ride in the
+		// calldata (execution cross-checks them against storage), so the
+		// network boundary can reject forged balances and inconsistent
+		// auditor ciphertexts without any chain state.
+		st := d.Statement(tx.From, tx.Method == "mint")
+		if err := ct.VerifySigma(tok.params, &tok.auditor, st, d.Proof); err != nil {
+			return nil, true, fmt.Errorf("%w: %w", ErrCTProofRejected, err)
+		}
+		e := ct.Challenge(tok.params, &tok.auditor, st, d.Proof)
+		items := make([]proofItem, 0, len(d.Proof.Outputs))
+		for i := range d.Proof.Outputs {
+			op := &d.Proof.Outputs[i]
+			if op.Range == nil {
+				return nil, true, fmt.Errorf("%w: output %d missing range proof", ErrCTProofRejected, i)
+			}
+			items = append(items, proofItem{v: v, args: VerifyArgs(op.Range, ct.RangePublics(e, op.ZV, op.PT))})
+		}
+		return items, true, nil
+	}
+	return nil, false, nil
 }
 
 // VerifyBatch batch-verifies the proofs carried by txs. It returns the
-// number of transactions whose proofs were validated (and marked
+// number of transactions whose proofs were all validated (and marked
 // pre-verified on their contracts) and a per-transaction error slice:
 // errs[i] != nil means transaction i carries a proof that fails
 // verification and should be dropped from the block. Transactions that
@@ -96,63 +151,125 @@ func (bc *BlockProofChecker) GossipCheck(txs []*chain.Transaction) (int, []error
 func (bc *BlockProofChecker) checkBatch(txs []*chain.Transaction, mark bool) (int, []error) {
 	errs := make([]error, len(txs))
 
-	// Group recognised proofs by target verifier: proofs under different
-	// verifying keys cannot share a fold.
-	type entry struct {
+	// Collect every proof item in transaction order.
+	type taggedItem struct {
 		txIndex int
-		digest  [32]byte
-		args    []byte
+		proofItem
 	}
-	groups := make(map[*Verifier][]entry)
+	var items []taggedItem
+	proofTx := make(map[int]int, len(txs)) // txIndex → item count
 	for i, tx := range txs {
-		if v, args, ok := bc.extract(tx); ok {
-			groups[v] = append(groups[v], entry{txIndex: i, digest: verifyDigest(args), args: args})
+		txItems, ok, err := bc.extractAll(tx)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if !ok {
+			continue
+		}
+		proofTx[i] = len(txItems)
+		for _, it := range txItems {
+			items = append(items, taggedItem{txIndex: i, proofItem: it})
 		}
 	}
 
-	verified := 0
-	for v, entries := range groups {
-		b := plonk.NewBatch(v.vk)
-		// members maps position-in-batch back to position-in-entries:
-		// proofs rejected at Add time never enter the batch.
-		var members []int
-		for j, en := range entries {
-			proof, public, err := decodeVerifyArgs(en.args)
-			if err != nil {
-				errs[en.txIndex] = fmt.Errorf("%w: %w", ErrProofRejected, err)
-				continue
-			}
-			if err := b.Add(proof, public); err != nil {
-				errs[en.txIndex] = fmt.Errorf("%w: %w", ErrProofRejected, err)
-				continue
-			}
-			members = append(members, j)
+	// Fold items into batches grouped by SRS: verifying keys with an equal
+	// G2 tail share one pairing check via AddFor, so π_k and π_ct proofs
+	// from the same ceremony cost one fold. Groups form in item order, so
+	// the construction is deterministic across replicas.
+	type g2group struct {
+		base    *Verifier
+		batch   *plonk.Batch
+		members []int // item indices, in batch position order
+	}
+	var groups []*g2group
+	sameSRS := func(a, b *plonk.VerifyingKey) bool {
+		return a.G2[0].Equal(&b.G2[0]) && a.G2[1].Equal(&b.G2[1])
+	}
+	for idx := range items {
+		it := &items[idx]
+		if errs[it.txIndex] != nil {
+			continue // sibling item already failed this tx
 		}
-		if b.Len() == 0 {
+		proof, public, err := decodeVerifyArgs(it.args)
+		if err != nil {
+			errs[it.txIndex] = fmt.Errorf("%w: %w", ErrProofRejected, err)
 			continue
 		}
-		bad := map[int]bool{}
-		if err := b.Check(); err != nil {
-			offenders, berr := b.Bisect()
+		var g *g2group
+		for _, cand := range groups {
+			if sameSRS(cand.base.vk, it.v.vk) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &g2group{base: it.v, batch: plonk.NewBatch(it.v.vk)}
+			groups = append(groups, g)
+		}
+		if it.v == g.base {
+			err = g.batch.Add(proof, public)
+		} else {
+			err = g.batch.AddFor(it.v.vk, proof, public)
+		}
+		if err != nil {
+			errs[it.txIndex] = fmt.Errorf("%w: %w", ErrProofRejected, err)
+			continue
+		}
+		g.members = append(g.members, idx)
+	}
+
+	// Check each fold; bisect to isolate offenders on failure.
+	unbatched := make(map[int]bool) // item idx → fold failed for non-proof reasons
+	for _, g := range groups {
+		if g.batch.Len() == 0 {
+			continue
+		}
+		if err := g.batch.Check(); err != nil {
+			offenders, berr := g.batch.Bisect()
 			if berr != nil {
 				// Folding itself failed (not a proof problem): leave the
 				// group un-batched; execution will verify each proof.
+				for _, idx := range g.members {
+					unbatched[idx] = true
+				}
 				continue
 			}
-			for _, o := range offenders {
-				bad[o] = true
+			for _, pos := range offenders {
+				idx := g.members[pos]
+				errs[items[idx].txIndex] = fmt.Errorf("%w: seal-time batch check", ErrProofRejected)
 			}
 		}
-		survivors := b.Len() - len(bad)
-		for pos, j := range members {
-			en := entries[j]
-			if bad[pos] {
-				errs[en.txIndex] = fmt.Errorf("%w: seal-time batch check", ErrProofRejected)
-				continue
+	}
+
+	// Second pass: mark surviving items, amortised over their own fold's
+	// survivor count. Marking is withheld from any transaction with a
+	// failed sibling item, so a half-valid confidential transfer never
+	// leaves partial amortised marks behind after eviction.
+	txUnbatched := make(map[int]bool)
+	for idx := range unbatched {
+		txUnbatched[items[idx].txIndex] = true
+	}
+	for _, g := range groups {
+		survivors := 0
+		for _, idx := range g.members {
+			if errs[items[idx].txIndex] == nil && !unbatched[idx] {
+				survivors++
 			}
-			if mark {
-				v.markPreverified(en.digest, survivors)
+		}
+		if !mark || survivors == 0 {
+			continue
+		}
+		for _, idx := range g.members {
+			it := &items[idx]
+			if errs[it.txIndex] == nil && !unbatched[idx] && !txUnbatched[it.txIndex] {
+				it.v.markPreverified(verifyDigest(it.args), survivors)
 			}
+		}
+	}
+	verified := 0
+	for i, n := range proofTx {
+		if n > 0 && errs[i] == nil && !txUnbatched[i] {
 			verified++
 		}
 	}

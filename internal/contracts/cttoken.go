@@ -1,0 +1,667 @@
+package contracts
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/ct"
+)
+
+// ConfidentialTokenName is the canonical deployment name of the
+// confidential-token contract.
+const ConfidentialTokenName = "zkdet-ct"
+
+// ConfidentialTokenCodeSize approximates the flattened contract size for
+// deployment gas (a zkat-style UTXO transfer contract plus an escrow).
+const ConfidentialTokenCodeSize = 9240
+
+// Confidential-token errors.
+var (
+	ErrCTNotIssuer     = errors.New("contracts: confidential mint restricted to the issuer")
+	ErrUnknownNote     = errors.New("contracts: unknown confidential note")
+	ErrNotNoteOwner    = errors.New("contracts: caller does not own note")
+	ErrNoteUnavailable = errors.New("contracts: note is spent or locked")
+	ErrDuplicateInput  = errors.New("contracts: duplicate input note")
+	ErrCTProofRejected = errors.New("contracts: confidential transfer proof rejected")
+)
+
+// note status values.
+const (
+	noteUnspent byte = 1
+	noteSpent   byte = 2
+	noteLocked  byte = 3
+)
+
+// CTNote is the public on-chain record of one confidential note: who owns
+// it and the commitment hiding its amount. Everything a non-auditor sees.
+type CTNote struct {
+	ID     uint64
+	Owner  chain.Address
+	Status byte
+	Comm   ct.Commitment
+	Audit  ct.AuditCipher
+}
+
+// ConfidentialToken is a UTXO-style token contract whose amounts are
+// Pedersen commitments (internal/ct). Methods:
+//
+//	mint(transferArgs)               (issuer; no inputs, creates notes)
+//	transfer(transferArgs)           (spend owned notes, create new ones)
+//	lock(exId, noteId, seller, hv, c, tokenId)  (buyer; locks a note as escrow payment)
+//	settle(exId, kc, verifyArgs…)    (seller; π_k verified, note changes owner)
+//	refund(exId)                     (buyer; after the deadline)
+//	noteOf(noteId)                   (view)
+//
+// Every mint/transfer carries a ct.Proof: the sigma part (balance +
+// auditor-ciphertext consistency) is verified in-contract, and each
+// output's π_ct range proof is verified through the deployed Plonk
+// verifier contract — which is exactly what the seal-time
+// BlockProofChecker pre-verifies and amortizes.
+type ConfidentialToken struct {
+	issuer  chain.Address
+	auditor bn254.G1Affine
+	params  *ct.Params
+	// rangeVerifierName is the deployed π_ct verifier; pikVerifierName the
+	// π_k verifier the escrow settle path reuses.
+	rangeVerifierName string
+	pikVerifierName   string
+	timeoutBlocks     uint64
+}
+
+var _ chain.Contract = (*ConfidentialToken)(nil)
+
+// NewConfidentialToken configures the contract. issuer and auditorPub are
+// genesis parameters every replica shares.
+func NewConfidentialToken(issuer chain.Address, auditorPub bn254.G1Affine, rangeVerifierName, pikVerifierName string, timeoutBlocks uint64) *ConfidentialToken {
+	return &ConfidentialToken{
+		issuer:            issuer,
+		auditor:           auditorPub,
+		params:            ct.DefaultParams(),
+		rangeVerifierName: rangeVerifierName,
+		pikVerifierName:   pikVerifierName,
+		timeoutBlocks:     timeoutBlocks,
+	}
+}
+
+func noteKey(id uint64, field string) string { return fmt.Sprintf("note/%d/%s", id, field) }
+func ctExKey(id uint64, field string) string { return fmt.Sprintf("ctex/%d/%s", id, field) }
+
+// CTSigmaGas prices the in-contract sigma verification of a confidential
+// transfer on the EIP-1108 schedule: 8 scalar muls + 6 additions per
+// output, 2 muls for the balance equation, and one addition per
+// commitment folded into it.
+func CTSigmaGas(nIn, nOut int) uint64 {
+	muls := uint64(8*nOut + 2)
+	adds := uint64(6*nOut + nIn + nOut + 4)
+	return muls*chain.GasEcMul + adds*chain.GasEcAdd
+}
+
+// CTTransferDecoded is the parsed calldata of a mint or transfer.
+type CTTransferDecoded struct {
+	InIDs      []uint64
+	InComms    []ct.Commitment
+	Outputs    []ct.Output
+	Recipients []chain.Address
+	Proof      *ct.Proof
+}
+
+// CTContext builds the Fiat–Shamir context binding a transfer proof to
+// its chain position: sender ‖ spent note ids ‖ recipients. Both the
+// stateless gossip screen and the executing contract rebuild it from the
+// same transaction fields.
+func CTContext(sender chain.Address, inIDs []uint64, recipients []chain.Address) []byte {
+	out := append([]byte("zkdet/ct/ctx"), sender[:]...)
+	out = append(out, U64List(inIDs)...)
+	for _, r := range recipients {
+		out = append(out, r[:]...)
+	}
+	return out
+}
+
+// CTTransferArgs builds mint/transfer calldata:
+// EncodeArgs(inIDs, inComms, outputs, recipients, proof).
+func CTTransferArgs(inIDs []uint64, inComms []ct.Commitment, outputs []ct.Output, recipients []chain.Address, proof *ct.Proof) []byte {
+	comms := make([]byte, 0, 64*len(inComms))
+	for i := range inComms {
+		b := inComms[i].Bytes()
+		comms = append(comms, b[:]...)
+	}
+	outs := make([]byte, 0, 224*len(outputs))
+	for i := range outputs {
+		b := outputs[i].Bytes()
+		outs = append(outs, b[:]...)
+	}
+	recips := make([]byte, 0, 20*len(recipients))
+	for _, r := range recipients {
+		recips = append(recips, r[:]...)
+	}
+	return EncodeArgs(U64List(inIDs), comms, outs, recips, proof.Bytes())
+}
+
+// DecodeCTTransfer parses mint/transfer calldata. It is stateless (input
+// commitments ride in the calldata; the contract checks them against
+// storage), so the gossip screen can verify the sigma proof without chain
+// state.
+func DecodeCTTransfer(args []byte) (*CTTransferDecoded, error) {
+	p, err := DecodeArgs(args, 5)
+	if err != nil {
+		return nil, err
+	}
+	d := &CTTransferDecoded{}
+	if d.InIDs, err = DecU64List(p[0]); err != nil {
+		return nil, err
+	}
+	if len(p[1]) != 64*len(d.InIDs) {
+		return nil, fmt.Errorf("%w: %d input ids, %d commitment bytes", ErrBadArgs, len(d.InIDs), len(p[1]))
+	}
+	d.InComms = make([]ct.Commitment, len(d.InIDs))
+	for i := range d.InComms {
+		if d.InComms[i], err = ct.CommitmentFromBytes(p[1][64*i : 64*(i+1)]); err != nil {
+			return nil, fmt.Errorf("contracts: input %d: %w", i, err)
+		}
+	}
+	if len(p[2]) == 0 || len(p[2])%224 != 0 {
+		return nil, fmt.Errorf("%w: output blob of %d bytes", ErrBadArgs, len(p[2]))
+	}
+	nOut := len(p[2]) / 224
+	if nOut > ct.MaxParties || len(d.InIDs) > ct.MaxParties {
+		return nil, fmt.Errorf("%w: more than %d parties", ErrBadArgs, ct.MaxParties)
+	}
+	d.Outputs = make([]ct.Output, nOut)
+	for i := range d.Outputs {
+		if d.Outputs[i], err = ct.OutputFromBytes(p[2][224*i : 224*(i+1)]); err != nil {
+			return nil, fmt.Errorf("contracts: output %d: %w", i, err)
+		}
+	}
+	if len(p[3]) != 20*nOut {
+		return nil, fmt.Errorf("%w: %d outputs, %d recipient bytes", ErrBadArgs, nOut, len(p[3]))
+	}
+	d.Recipients = make([]chain.Address, nOut)
+	for i := range d.Recipients {
+		copy(d.Recipients[i][:], p[3][20*i:20*(i+1)])
+	}
+	if d.Proof, err = ct.ProofFromBytes(p[4]); err != nil {
+		return nil, fmt.Errorf("contracts: %w", err)
+	}
+	if len(d.Proof.Outputs) != nOut {
+		return nil, fmt.Errorf("%w: proof covers %d outputs, statement has %d", ErrBadArgs, len(d.Proof.Outputs), nOut)
+	}
+	return d, nil
+}
+
+// Statement assembles the ct.Statement a decoded transfer proves.
+func (d *CTTransferDecoded) Statement(sender chain.Address, mint bool) *ct.Statement {
+	return &ct.Statement{
+		Mint:    mint,
+		Inputs:  d.InComms,
+		Outputs: d.Outputs,
+		Context: CTContext(sender, d.InIDs, d.Recipients),
+	}
+}
+
+// Call dispatches a method invocation.
+func (c *ConfidentialToken) Call(ctx *chain.CallContext, method string, args []byte) ([]byte, error) {
+	switch method {
+	case "mint":
+		return c.mintOrTransfer(ctx, args, true)
+	case "transfer":
+		return c.mintOrTransfer(ctx, args, false)
+	case "lock":
+		p, err := DecodeArgs(args, 6)
+		if err != nil {
+			return nil, err
+		}
+		exID, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		noteID, err := DecU64(p[1])
+		if err != nil {
+			return nil, err
+		}
+		tokenID, err := DecU64(p[5])
+		if err != nil {
+			return nil, err
+		}
+		return nil, c.lock(ctx, exID, noteID, p[2], p[3], p[4], tokenID)
+	case "settle":
+		p, err := DecodeArgsVariadic(args)
+		if err != nil {
+			return nil, err
+		}
+		if len(p) < 3 {
+			return nil, fmt.Errorf("%w: settle wants id, kc, proof…", ErrBadArgs)
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, c.settle(ctx, id, p[1], p[2:])
+	case "refund":
+		p, err := DecodeArgs(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, c.refund(ctx, id)
+	case "noteOf":
+		p, err := DecodeArgs(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		id, err := DecU64(p[0])
+		if err != nil {
+			return nil, err
+		}
+		owner, status, err := c.loadNote(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		return append(owner[:], status), nil
+	default:
+		return nil, fmt.Errorf("contracts: confidential token has no method %q", method)
+	}
+}
+
+func (c *ConfidentialToken) nextNote(ctx *chain.CallContext) (uint64, error) {
+	raw, err := ctx.Store.Get("nextNote")
+	if err != nil {
+		return 0, err
+	}
+	var id uint64 = 1
+	if len(raw) == 8 {
+		id, _ = DecU64(raw)
+	}
+	if err := ctx.Store.Set("nextNote", U64(id+1)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (c *ConfidentialToken) loadNote(ctx *chain.CallContext, id uint64) (chain.Address, byte, error) {
+	raw, err := ctx.Store.Get(noteKey(id, "owner"))
+	if err != nil {
+		return chain.Address{}, 0, err
+	}
+	if len(raw) != 21 {
+		return chain.Address{}, 0, fmt.Errorf("%w: %d", ErrUnknownNote, id)
+	}
+	var owner chain.Address
+	copy(owner[:], raw[:20])
+	return owner, raw[20], nil
+}
+
+func (c *ConfidentialToken) setNoteOwner(ctx *chain.CallContext, id uint64, owner chain.Address, status byte) error {
+	return ctx.Store.Set(noteKey(id, "owner"), append(append([]byte{}, owner[:]...), status))
+}
+
+// mintOrTransfer is the shared proof-carrying path. mint requires the
+// issuer and no inputs; transfer requires the sender to own every input
+// note unspent.
+func (c *ConfidentialToken) mintOrTransfer(ctx *chain.CallContext, args []byte, mint bool) ([]byte, error) {
+	d, err := DecodeCTTransfer(args)
+	if err != nil {
+		return nil, err
+	}
+	if mint {
+		if ctx.Sender != c.issuer {
+			return nil, ErrCTNotIssuer
+		}
+		if len(d.InIDs) != 0 {
+			return nil, fmt.Errorf("%w: mint with inputs", ErrBadArgs)
+		}
+	} else if len(d.InIDs) == 0 {
+		return nil, fmt.Errorf("%w: transfer without inputs", ErrBadArgs)
+	}
+
+	// Inputs: owned by the sender, unspent, and the calldata commitments
+	// (which the proof was verified against) match storage.
+	seen := make(map[uint64]bool, len(d.InIDs))
+	for i, id := range d.InIDs {
+		if seen[id] {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateInput, id)
+		}
+		seen[id] = true
+		owner, status, err := c.loadNote(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if owner != ctx.Sender {
+			return nil, fmt.Errorf("%w: note %d", ErrNotNoteOwner, id)
+		}
+		if status != noteUnspent {
+			return nil, fmt.Errorf("%w: note %d", ErrNoteUnavailable, id)
+		}
+		stored, err := ctx.Store.Get(noteKey(id, "comm"))
+		if err != nil {
+			return nil, err
+		}
+		cb := d.InComms[i].Bytes()
+		if !bytes.Equal(stored, cb[:]) {
+			return nil, fmt.Errorf("%w: note %d commitment mismatch", ErrBadArgs, id)
+		}
+	}
+
+	// Sigma verification: balance + auditor-ciphertext consistency.
+	if err := ctx.Gas.Charge(CTSigmaGas(len(d.InIDs), len(d.Outputs))); err != nil {
+		return nil, err
+	}
+	st := d.Statement(ctx.Sender, mint)
+	if err := ct.VerifySigma(c.params, &c.auditor, st, d.Proof); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCTProofRejected, err)
+	}
+
+	// Range proofs: one π_ct per output through the verifier contract —
+	// amortized gas when the seal-time batch pre-verified the calldata.
+	e := ct.Challenge(c.params, &c.auditor, st, d.Proof)
+	for i := range d.Proof.Outputs {
+		op := &d.Proof.Outputs[i]
+		if op.Range == nil {
+			return nil, fmt.Errorf("%w: output %d missing range proof", ErrCTProofRejected, i)
+		}
+		vargs := VerifyArgs(op.Range, ct.RangePublics(e, op.ZV, op.PT))
+		if _, err := ctx.CallContract(c.rangeVerifierName, "verify", vargs); err != nil {
+			return nil, fmt.Errorf("%w: output %d range: %w", ErrCTProofRejected, i, err)
+		}
+	}
+
+	// Spend inputs, create outputs.
+	for _, id := range d.InIDs {
+		if err := c.setNoteOwner(ctx, id, ctx.Sender, noteSpent); err != nil {
+			return nil, err
+		}
+	}
+	outIDs := make([]uint64, len(d.Outputs))
+	for i := range d.Outputs {
+		id, err := c.nextNote(ctx)
+		if err != nil {
+			return nil, err
+		}
+		outIDs[i] = id
+		if err := c.setNoteOwner(ctx, id, d.Recipients[i], noteUnspent); err != nil {
+			return nil, err
+		}
+		cb := d.Outputs[i].C.Bytes()
+		if err := ctx.Store.Set(noteKey(id, "comm"), cb[:]); err != nil {
+			return nil, err
+		}
+		ab := d.Outputs[i].Audit.Bytes()
+		if err := ctx.Store.Set(noteKey(id, "audit"), ab[:]); err != nil {
+			return nil, err
+		}
+		// Lineage events carry the commitment digest, never an amount.
+		digest := d.Outputs[i].C.Digest()
+		if err := ctx.EmitIndexed("CTNote", U64(id), EncodeArgs(U64(id), d.Recipients[i][:], digest[:])); err != nil {
+			return nil, err
+		}
+	}
+	event := "CTTransfer"
+	if mint {
+		event = "CTMint"
+	}
+	if err := ctx.EmitIndexed(event, U64(outIDs[0]), EncodeArgs(U64List(d.InIDs), U64List(outIDs))); err != nil {
+		return nil, err
+	}
+	return U64List(outIDs), nil
+}
+
+// lock opens a confidential escrow: the buyer's note becomes the locked
+// payment for tokenId's key-secure exchange (same two-phase protocol as
+// the public escrow, but the price is a commitment).
+func (c *ConfidentialToken) lock(ctx *chain.CallContext, exID, noteID uint64, seller, hv, kc []byte, tokenID uint64) error {
+	if exists, err := ctx.Store.Has(ctExKey(exID, "status")); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %d", ErrExchangeExists, exID)
+	}
+	if len(seller) != 20 {
+		return fmt.Errorf("%w: bad seller address", ErrBadArgs)
+	}
+	owner, status, err := c.loadNote(ctx, noteID)
+	if err != nil {
+		return err
+	}
+	if owner != ctx.Sender {
+		return fmt.Errorf("%w: note %d", ErrNotNoteOwner, noteID)
+	}
+	if status != noteUnspent {
+		return fmt.Errorf("%w: note %d", ErrNoteUnavailable, noteID)
+	}
+	if err := c.setNoteOwner(ctx, noteID, owner, noteLocked); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "status"), []byte{statusOpen}); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "buyer"), ctx.Sender[:]); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "seller"), seller); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "note"), U64(noteID)); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "token"), U64(tokenID)); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "hv"), hv); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "c"), kc); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "deadline"), U64(ctx.BlockNumber()+c.timeoutBlocks)); err != nil {
+		return err
+	}
+	// The exchange index makes confidential settlements enumerable for
+	// the auditor without an event indexer.
+	idxRaw, err := ctx.Store.Get("ctex/index")
+	if err != nil {
+		return err
+	}
+	ids, _ := DecU64List(idxRaw)
+	if err := ctx.Store.Set("ctex/index", U64List(append(ids, exID))); err != nil {
+		return err
+	}
+	comm, err := ctx.Store.Get(noteKey(noteID, "comm"))
+	if err != nil {
+		return err
+	}
+	return ctx.EmitIndexed("CTOpened", U64(exID),
+		EncodeArgs(U64(exID), U64(tokenID), U64(noteID), seller, comm))
+}
+
+// settle completes a confidential escrow: the seller proves π_k exactly
+// as in the public escrow, and the locked note changes hands instead of a
+// native-value payout.
+func (c *ConfidentialToken) settle(ctx *chain.CallContext, exID uint64, kc []byte, verifyParts [][]byte) error {
+	status, err := ctx.Store.Get(ctExKey(exID, "status"))
+	if err != nil {
+		return err
+	}
+	if len(status) == 0 {
+		return fmt.Errorf("%w: %d", ErrUnknownExchange, exID)
+	}
+	if status[0] != statusOpen {
+		return fmt.Errorf("%w: %d", ErrExchangeSettled, exID)
+	}
+	seller, err := ctx.Store.Get(ctExKey(exID, "seller"))
+	if err != nil {
+		return err
+	}
+	if ctx.Sender != chain.Address([20]byte(seller)) {
+		return fmt.Errorf("%w: %d", ErrNotSeller, exID)
+	}
+	deadlineRaw, err := ctx.Store.Get(ctExKey(exID, "deadline"))
+	if err != nil {
+		return err
+	}
+	deadline, _ := DecU64(deadlineRaw)
+	if ctx.BlockNumber() > deadline {
+		return fmt.Errorf("%w: %d", ErrDeadlinePassed, exID)
+	}
+	hv, err := ctx.Store.Get(ctExKey(exID, "hv"))
+	if err != nil {
+		return err
+	}
+	ckc, err := ctx.Store.Get(ctExKey(exID, "c"))
+	if err != nil {
+		return err
+	}
+	if len(verifyParts) != 4 { // proof, kc, c, hv
+		return fmt.Errorf("%w: settle proof wants (proof, kc, c, hv)", ErrBadArgs)
+	}
+	if !bytes.Equal(verifyParts[1], kc) || !bytes.Equal(verifyParts[2], ckc) || !bytes.Equal(verifyParts[3], hv) {
+		return fmt.Errorf("%w: public inputs do not match exchange state", ErrBadArgs)
+	}
+	if _, err := ctx.CallContract(c.pikVerifierName, "verify", EncodeArgs(verifyParts...)); err != nil {
+		return fmt.Errorf("contracts: π_k verification: %w", err)
+	}
+	noteRaw, err := ctx.Store.Get(ctExKey(exID, "note"))
+	if err != nil {
+		return err
+	}
+	noteID, _ := DecU64(noteRaw)
+	if err := c.setNoteOwner(ctx, noteID, chain.Address([20]byte(seller)), noteUnspent); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "status"), []byte{statusSettled}); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "kc"), kc); err != nil {
+		return err
+	}
+	tokenRaw, err := ctx.Store.Get(ctExKey(exID, "token"))
+	if err != nil {
+		return err
+	}
+	tokenID, _ := DecU64(tokenRaw)
+	return ctx.EmitIndexed("CTSettled", U64(exID),
+		EncodeArgs(U64(exID), U64(tokenID), U64(noteID), kc))
+}
+
+// refund returns a locked note to the buyer after the deadline.
+func (c *ConfidentialToken) refund(ctx *chain.CallContext, exID uint64) error {
+	status, err := ctx.Store.Get(ctExKey(exID, "status"))
+	if err != nil {
+		return err
+	}
+	if len(status) == 0 {
+		return fmt.Errorf("%w: %d", ErrUnknownExchange, exID)
+	}
+	if status[0] != statusOpen {
+		return fmt.Errorf("%w: %d", ErrExchangeSettled, exID)
+	}
+	buyer, err := ctx.Store.Get(ctExKey(exID, "buyer"))
+	if err != nil {
+		return err
+	}
+	if ctx.Sender != chain.Address([20]byte(buyer)) {
+		return fmt.Errorf("%w: %d", ErrNotBuyer, exID)
+	}
+	deadlineRaw, err := ctx.Store.Get(ctExKey(exID, "deadline"))
+	if err != nil {
+		return err
+	}
+	deadline, _ := DecU64(deadlineRaw)
+	if ctx.BlockNumber() <= deadline {
+		return fmt.Errorf("%w: %d", ErrDeadlineNotReached, exID)
+	}
+	noteRaw, err := ctx.Store.Get(ctExKey(exID, "note"))
+	if err != nil {
+		return err
+	}
+	noteID, _ := DecU64(noteRaw)
+	if err := c.setNoteOwner(ctx, noteID, chain.Address([20]byte(buyer)), noteUnspent); err != nil {
+		return err
+	}
+	if err := ctx.Store.Set(ctExKey(exID, "status"), []byte{statusRefunded}); err != nil {
+		return err
+	}
+	return ctx.EmitIndexed("CTRefunded", U64(exID), EncodeArgs(U64(exID), U64(noteID)))
+}
+
+var _ chain.RWDeclarer = (*ConfidentialToken)(nil)
+
+// DeclareRW implements chain.RWDeclarer: always serial-only. mint and
+// transfer consume the range verifier's seal-time pre-verification marks
+// through a sub-call (the same spend-once side effect that pins the
+// Verifier contract serial), and the escrow methods resolve their
+// participants from storage at run time.
+func (c *ConfidentialToken) DeclareRW(sender chain.Address, method string, args []byte, value uint64) (chain.RWDecl, bool) {
+	return chain.RWDecl{}, false
+}
+
+// ReadCTNote decodes a note's public record from chain storage without
+// gas (off-chain view).
+func ReadCTNote(c *chain.Chain, contractName string, id uint64) (*CTNote, error) {
+	raw := c.ReadStorage(contractName, noteKey(id, "owner"))
+	if len(raw) != 21 {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNote, id)
+	}
+	n := &CTNote{ID: id, Status: raw[20]}
+	copy(n.Owner[:], raw[:20])
+	var err error
+	if n.Comm, err = ct.CommitmentFromBytes(c.ReadStorage(contractName, noteKey(id, "comm"))); err != nil {
+		return nil, fmt.Errorf("contracts: note %d: %w", id, err)
+	}
+	if n.Audit, err = ct.AuditCipherFromBytes(c.ReadStorage(contractName, noteKey(id, "audit"))); err != nil {
+		return nil, fmt.Errorf("contracts: note %d: %w", id, err)
+	}
+	return n, nil
+}
+
+// ReadCTSettledKc returns the committed key published by a settled
+// confidential exchange (off-chain view for the buyer).
+func ReadCTSettledKc(c *chain.Chain, contractName string, exID uint64) ([]byte, error) {
+	status := c.ReadStorage(contractName, ctExKey(exID, "status"))
+	if len(status) == 0 {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownExchange, exID)
+	}
+	if status[0] != statusSettled {
+		return nil, fmt.Errorf("%w: exchange %d not settled", ErrBadArgs, exID)
+	}
+	return c.ReadStorage(contractName, ctExKey(exID, "kc")), nil
+}
+
+// CTSettlement is one settled (or still open) confidential exchange, as
+// enumerated for the auditor.
+type CTSettlement struct {
+	ExchangeID uint64
+	TokenID    uint64
+	NoteID     uint64
+	Settled    bool
+}
+
+// ReadCTSettlements enumerates every confidential exchange recorded by
+// the contract, in lock order (off-chain view; the auditor joins these
+// against a token's lineage).
+func ReadCTSettlements(c *chain.Chain, contractName string) ([]CTSettlement, error) {
+	ids, err := DecU64List(c.ReadStorage(contractName, "ctex/index"))
+	if err != nil {
+		return nil, fmt.Errorf("contracts: exchange index: %w", err)
+	}
+	out := make([]CTSettlement, 0, len(ids))
+	for _, exID := range ids {
+		status := c.ReadStorage(contractName, ctExKey(exID, "status"))
+		if len(status) == 0 {
+			continue
+		}
+		tokenID, _ := DecU64(c.ReadStorage(contractName, ctExKey(exID, "token")))
+		noteID, _ := DecU64(c.ReadStorage(contractName, ctExKey(exID, "note")))
+		out = append(out, CTSettlement{
+			ExchangeID: exID,
+			TokenID:    tokenID,
+			NoteID:     noteID,
+			Settled:    status[0] == statusSettled,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,510 @@
+package contracts
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/chain"
+	"github.com/zkdet/zkdet/internal/ct"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// ctSystem builds the expensive pieces once: the range-table SRS, the
+// π_ct prover, and the auditor key pair.
+var ctSystem = sync.OnceValue(func() (out struct {
+	params *ct.Params
+	prover *ct.RangeProver
+	vk     *plonk.VerifyingKey
+	ak     *ct.AuditorKey
+	pub    bn254.G1Affine
+}) {
+	tau := fr.NewElement(0x5eed2025)
+	srs, err := kzg.NewSRSFromSecret(4*4096+16, &tau)
+	if err != nil {
+		panic(err)
+	}
+	out.params = ct.DefaultParams()
+	out.prover = ct.NewRangeProver(srs)
+	if out.vk, err = out.prover.VK(); err != nil {
+		panic(err)
+	}
+	out.ak = ct.AuditorKeyFromSecret(fr.NewElement(0xc0ffee))
+	out.pub = out.ak.PublicKey()
+	return out
+})
+
+const testPiCTVerifier = "pict-verifier"
+
+// ctEnv deploys the π_ct verifier, a toy π_k verifier (kc = c + hv, as in
+// the escrow tests), and the confidential-token contract.
+func ctEnv(t *testing.T) (*chain.Chain, chain.Address, chain.Address, chain.Address) {
+	t.Helper()
+	cs := ctSystem()
+	c := chain.New()
+	if _, err := c.Deploy(testPiCTVerifier, NewVerifier(cs.vk), VerifierCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	issuer := chain.AddressFromString("issuer")
+	if _, err := c.Deploy(ConfidentialTokenName,
+		NewConfidentialToken(issuer, cs.pub, testPiCTVerifier, "pik-verifier", 10),
+		ConfidentialTokenCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	alice := chain.AddressFromString("alice")
+	bob := chain.AddressFromString("bob")
+	for _, a := range []chain.Address{issuer, alice, bob} {
+		c.Faucet(a, 100_000_000)
+	}
+	return c, issuer, alice, bob
+}
+
+// ctProve builds a proof for the statement (sender, inIDs, inComms) →
+// outputs to recipients and returns the transfer calldata.
+func ctProve(t *testing.T, sender chain.Address, mint bool, inIDs []uint64,
+	ins []ct.Opening, outs []ct.OutputSecret, recipients []chain.Address) []byte {
+	t.Helper()
+	cs := ctSystem()
+	st := &ct.Statement{Mint: mint, Context: CTContext(sender, inIDs, recipients)}
+	inComms := make([]ct.Commitment, len(ins))
+	for i := range ins {
+		inComms[i] = cs.params.Commit(ins[i].V, &ins[i].R)
+	}
+	st.Inputs = inComms
+	for i := range outs {
+		st.Outputs = append(st.Outputs, cs.params.NewOutput(&cs.pub, outs[i].V, &outs[i].R, &outs[i].Rho))
+	}
+	proof, err := ct.Prove(cs.params, cs.prover, &cs.pub, st, ins, outs, nil)
+	if err != nil {
+		t.Fatalf("ct prove: %v", err)
+	}
+	return CTTransferArgs(inIDs, inComms, st.Outputs, recipients, proof)
+}
+
+func TestConfidentialMintTransferLifecycle(t *testing.T) {
+	c, issuer, alice, bob := ctEnv(t)
+	cs := ctSystem()
+
+	// Issuer mints a 100-unit note to alice.
+	mintSecret := []ct.OutputSecret{{V: 100, R: fr.NewElement(11), Rho: fr.NewElement(12)}}
+	args := ctProve(t, issuer, true, nil, nil, mintSecret, []chain.Address{alice})
+	r := mustSucceed(t, call(t, c, issuer, ConfidentialTokenName, "mint", 0, args))
+	ids, err := DecU64List(r.Return)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("mint returned %v, %v", ids, err)
+	}
+
+	// Non-issuer mint is rejected.
+	badMint := ctProve(t, alice, true, nil, nil,
+		[]ct.OutputSecret{{V: 5, R: fr.NewElement(1), Rho: fr.NewElement(2)}}, []chain.Address{alice})
+	if r := call(t, c, alice, ConfidentialTokenName, "mint", 0, badMint); r.Err == nil {
+		t.Fatal("non-issuer mint succeeded")
+	}
+
+	// The note's public record hides the amount: commitment + cipher only.
+	note, err := ReadCTNote(c, ConfidentialTokenName, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note.Owner != alice {
+		t.Fatalf("note owner %x", note.Owner)
+	}
+	if !note.Comm.Equal(cs.params.Commit(100, &mintSecret[0].R)) {
+		t.Fatal("stored commitment mismatch")
+	}
+
+	// The auditor — and only the auditor — opens the amount.
+	op, err := cs.ak.Open(cs.params, note.Comm, &note.Audit)
+	if err != nil || op.V != 100 {
+		t.Fatalf("auditor open: v=%d err=%v", op.V, err)
+	}
+
+	// Alice splits her note: 75 to bob, 25 back to herself.
+	inOpening := []ct.Opening{{V: 100, R: mintSecret[0].R}}
+	outSecrets := []ct.OutputSecret{
+		{V: 75, R: fr.NewElement(21), Rho: fr.NewElement(22)},
+		{V: 25, R: fr.NewElement(23), Rho: fr.NewElement(24)},
+	}
+	recips := []chain.Address{bob, alice}
+	targs := ctProve(t, alice, false, ids, inOpening, outSecrets, recips)
+	r = mustSucceed(t, call(t, c, alice, ConfidentialTokenName, "transfer", 0, targs))
+	outIDs, err := DecU64List(r.Return)
+	if err != nil || len(outIDs) != 2 {
+		t.Fatalf("transfer returned %v, %v", outIDs, err)
+	}
+
+	// Non-auditors see only commitments; the auditor opens both outputs
+	// and the values conserve the input.
+	n1, err := ReadCTNote(c, ConfidentialTokenName, outIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadCTNote(c, ConfidentialTokenName, outIDs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Owner != bob || n2.Owner != alice {
+		t.Fatal("transfer recipients wrong")
+	}
+	o1, err := cs.ak.Open(cs.params, n1.Comm, &n1.Audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := cs.ak.Open(cs.params, n2.Comm, &n2.Audit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.V != 75 || o2.V != 25 {
+		t.Fatalf("auditor opened %d + %d, want 75 + 25", o1.V, o2.V)
+	}
+
+	// The spent input cannot be spent again.
+	replay := ctProve(t, alice, false, ids, inOpening, outSecrets, recips)
+	if r := call(t, c, alice, ConfidentialTokenName, "transfer", 0, replay); r.Err == nil {
+		t.Fatal("double spend succeeded")
+	} else if !errors.Is(r.Err, chain.ErrReverted) {
+		t.Fatalf("double spend error %v", r.Err)
+	}
+
+	// Bob cannot spend a note he does not own.
+	steal := ctProve(t, bob, false, []uint64{outIDs[1]},
+		[]ct.Opening{{V: 25, R: outSecrets[1].R}},
+		[]ct.OutputSecret{{V: 25, R: fr.NewElement(31), Rho: fr.NewElement(32)}},
+		[]chain.Address{bob})
+	if r := call(t, c, bob, ConfidentialTokenName, "transfer", 0, steal); r.Err == nil {
+		t.Fatal("theft succeeded")
+	}
+}
+
+func TestConfidentialTransferRejectsForgery(t *testing.T) {
+	c, issuer, alice, bob := ctEnv(t)
+
+	mintSecret := []ct.OutputSecret{{V: 50, R: fr.NewElement(41), Rho: fr.NewElement(42)}}
+	args := ctProve(t, issuer, true, nil, nil, mintSecret, []chain.Address{alice})
+	r := mustSucceed(t, call(t, c, issuer, ConfidentialTokenName, "mint", 0, args))
+	ids, _ := DecU64List(r.Return)
+
+	inOpening := []ct.Opening{{V: 50, R: mintSecret[0].R}}
+	outSecrets := []ct.OutputSecret{{V: 50, R: fr.NewElement(43), Rho: fr.NewElement(44)}}
+	good := ctProve(t, alice, false, ids, inOpening, outSecrets, []chain.Address{bob})
+
+	// Redirecting the payment to a different recipient breaks the
+	// Fiat–Shamir context: same proof bytes, different statement.
+	d, err := DecodeCTTransfer(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redirected := CTTransferArgs(d.InIDs, d.InComms, d.Outputs, []chain.Address{alice}, d.Proof)
+	if r := call(t, c, alice, ConfidentialTokenName, "transfer", 0, redirected); r.Err == nil {
+		t.Fatal("recipient redirect accepted")
+	}
+
+	// Corrupting a sigma response is caught by the in-contract check.
+	var one fr.Element
+	one.SetOne()
+	d.Proof.Outputs[0].ZR.Add(&d.Proof.Outputs[0].ZR, &one)
+	tampered := CTTransferArgs(d.InIDs, d.InComms, d.Outputs, []chain.Address{bob}, d.Proof)
+	if r := call(t, c, alice, ConfidentialTokenName, "transfer", 0, tampered); r.Err == nil {
+		t.Fatal("tampered sigma accepted")
+	}
+
+	// Lying about the input commitment (claiming a richer note) fails the
+	// storage cross-check even though the sigma proof self-verifies.
+	cs := ctSystem()
+	fatIn := []ct.Opening{{V: 90, R: fr.NewElement(45)}}
+	fatOut := []ct.OutputSecret{{V: 90, R: fr.NewElement(46), Rho: fr.NewElement(47)}}
+	forged := ctProve(t, alice, false, ids, fatIn, fatOut, []chain.Address{bob})
+	if r := call(t, c, alice, ConfidentialTokenName, "transfer", 0, forged); r.Err == nil {
+		t.Fatal("input commitment substitution accepted")
+	}
+	_ = cs
+
+	// The honest transfer still goes through afterwards.
+	mustSucceed(t, call(t, c, alice, ConfidentialTokenName, "transfer", 0, good))
+}
+
+// deployToyPiK deploys the 3-public toy π_k verifier (kc = c + hv) and
+// returns matching (proof, kc, c, hv) verify parts.
+func deployToyPiK(t *testing.T, c *chain.Chain) [][]byte {
+	t.Helper()
+	tau := fr.NewElement(0xdef)
+	srs, err := kzg.NewSRSFromSecret(64, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := plonk.NewConstraintSystem(3)
+	minusOne := fr.NewFromInt64(-1)
+	sys.MustAddGate(plonk.Gate{QL: fr.One(), QR: fr.One(), QO: minusOne, A: 1, B: 2, C: 0})
+	kcv, cv, hvv := fr.NewElement(30), fr.NewElement(10), fr.NewElement(20)
+	pk, vk, err := plonk.Setup(sys, srs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := plonk.Prove(pk, []fr.Element{kcv, cv, hvv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("pik-verifier", NewVerifier(vk), VerifierCodeSize); err != nil {
+		t.Fatal(err)
+	}
+	kcB, cB, hvB := kcv.Bytes(), cv.Bytes(), hvv.Bytes()
+	return [][]byte{proof.Bytes(), kcB[:], cB[:], hvB[:]}
+}
+
+func TestConfidentialEscrowSettle(t *testing.T) {
+	c, issuer, alice, seller := ctEnv(t)
+	parts := deployToyPiK(t, c)
+
+	// Alice holds a confidential note worth 500.
+	mintSecret := []ct.OutputSecret{{V: 500, R: fr.NewElement(51), Rho: fr.NewElement(52)}}
+	args := ctProve(t, issuer, true, nil, nil, mintSecret, []chain.Address{alice})
+	r := mustSucceed(t, call(t, c, issuer, ConfidentialTokenName, "mint", 0, args))
+	ids, _ := DecU64List(r.Return)
+
+	// She locks it as payment for token 7's key-secure exchange.
+	mustSucceed(t, call(t, c, alice, ConfidentialTokenName, "lock", 0,
+		EncodeArgs(U64(1), U64(ids[0]), seller[:], parts[3], parts[2], U64(7))))
+
+	// Locked notes cannot be spent.
+	spend := ctProve(t, alice, false, ids,
+		[]ct.Opening{{V: 500, R: mintSecret[0].R}},
+		[]ct.OutputSecret{{V: 500, R: fr.NewElement(53), Rho: fr.NewElement(54)}},
+		[]chain.Address{alice})
+	if r := call(t, c, alice, ConfidentialTokenName, "transfer", 0, spend); r.Err == nil {
+		t.Fatal("locked note spent")
+	}
+	// Double lock of the same exchange id is rejected.
+	if r := call(t, c, alice, ConfidentialTokenName, "lock", 0,
+		EncodeArgs(U64(1), U64(ids[0]), seller[:], parts[3], parts[2], U64(7))); r.Err == nil {
+		t.Fatal("duplicate exchange opened")
+	}
+
+	// A stranger cannot settle; the seller can, with a valid π_k.
+	settleArgs := EncodeArgs(U64(1), parts[1], parts[0], parts[1], parts[2], parts[3])
+	if r := call(t, c, alice, ConfidentialTokenName, "settle", 0, settleArgs); r.Err == nil {
+		t.Fatal("buyer settled own exchange")
+	}
+	badParts := EncodeArgs(U64(1), parts[1], parts[0], parts[1], parts[2], parts[1])
+	if r := call(t, c, seller, ConfidentialTokenName, "settle", 0, badParts); r.Err == nil {
+		t.Fatal("settle with mismatched publics succeeded")
+	}
+	mustSucceed(t, call(t, c, seller, ConfidentialTokenName, "settle", 0, settleArgs))
+
+	// The note now belongs to the seller, spendable again.
+	note, err := ReadCTNote(c, ConfidentialTokenName, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note.Owner != seller || note.Status != 1 {
+		t.Fatalf("settled note owner=%x status=%d", note.Owner, note.Status)
+	}
+
+	// Settlement is enumerable for the auditor.
+	settlements, err := ReadCTSettlements(c, ConfidentialTokenName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(settlements) != 1 || !settlements[0].Settled ||
+		settlements[0].TokenID != 7 || settlements[0].NoteID != ids[0] {
+		t.Fatalf("settlements %+v", settlements)
+	}
+
+	// Double settle rejected.
+	if r := call(t, c, seller, ConfidentialTokenName, "settle", 0, settleArgs); r.Err == nil {
+		t.Fatal("double settle succeeded")
+	}
+}
+
+func TestConfidentialEscrowRefund(t *testing.T) {
+	c, issuer, alice, seller := ctEnv(t)
+	parts := deployToyPiK(t, c)
+
+	mintSecret := []ct.OutputSecret{{V: 5, R: fr.NewElement(61), Rho: fr.NewElement(62)}}
+	args := ctProve(t, issuer, true, nil, nil, mintSecret, []chain.Address{alice})
+	r := mustSucceed(t, call(t, c, issuer, ConfidentialTokenName, "mint", 0, args))
+	ids, _ := DecU64List(r.Return)
+
+	mustSucceed(t, call(t, c, alice, ConfidentialTokenName, "lock", 0,
+		EncodeArgs(U64(2), U64(ids[0]), seller[:], parts[3], parts[2], U64(9))))
+
+	// Early refund and stranger refund rejected.
+	if r := call(t, c, alice, ConfidentialTokenName, "refund", 0, EncodeArgs(U64(2))); r.Err == nil {
+		t.Fatal("early refund succeeded")
+	}
+	for i := 0; i < 12; i++ {
+		c.SealBlock()
+	}
+	if r := call(t, c, seller, ConfidentialTokenName, "refund", 0, EncodeArgs(U64(2))); r.Err == nil {
+		t.Fatal("seller refunded buyer's note")
+	}
+	mustSucceed(t, call(t, c, alice, ConfidentialTokenName, "refund", 0, EncodeArgs(U64(2))))
+
+	// Note back to alice and unspent; settle after refund rejected.
+	note, err := ReadCTNote(c, ConfidentialTokenName, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note.Owner != alice || note.Status != 1 {
+		t.Fatalf("refunded note owner=%x status=%d", note.Owner, note.Status)
+	}
+	settleArgs := EncodeArgs(U64(2), parts[1], parts[0], parts[1], parts[2], parts[3])
+	if r := call(t, c, seller, ConfidentialTokenName, "settle", 0, settleArgs); r.Err == nil {
+		t.Fatal("settle after refund succeeded")
+	}
+}
+
+func TestCTTransferCalldataValidation(t *testing.T) {
+	c, issuer, alice, _ := ctEnv(t)
+	cases := []struct {
+		name string
+		args []byte
+	}{
+		{"empty", nil},
+		{"wrong arity", EncodeArgs([]byte{1})},
+		{"garbage proof", EncodeArgs(U64List(nil), nil, bytes.Repeat([]byte{0}, 224), make([]byte, 20), []byte("nope"))},
+	}
+	for _, tc := range cases {
+		if r := call(t, c, issuer, ConfidentialTokenName, "mint", 0, tc.args); r.Err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+	// Unknown method and unknown note views.
+	if r := call(t, c, alice, ConfidentialTokenName, "nope", 0, nil); r.Err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if r := call(t, c, alice, ConfidentialTokenName, "noteOf", 0, EncodeArgs(U64(404))); r.Err == nil {
+		t.Fatal("unknown note read succeeded")
+	}
+	if _, err := ReadCTNote(c, ConfidentialTokenName, 404); !errors.Is(err, ErrUnknownNote) {
+		t.Fatalf("ReadCTNote(404) = %v", err)
+	}
+}
+
+// TestBlockProofCheckerConfidential covers the confidential path through
+// the seal-time checker: sigma forgeries die at the stateless pre-check,
+// valid transfers get every π_ct marked pre-verified (amortised gas), and
+// π_ct proofs fold together with proofs from other verifiers on the same
+// SRS via AddFor.
+func TestBlockProofCheckerConfidential(t *testing.T) {
+	cs := ctSystem()
+	issuer := chain.AddressFromString("issuer")
+	alice := chain.AddressFromString("alice")
+	tok := NewConfidentialToken(issuer, cs.pub, testPiCTVerifier, "pik-verifier", 10)
+	rangeVerifier := NewVerifier(cs.vk)
+	bc := NewBlockProofChecker()
+	bc.AddVerifier(testPiCTVerifier, rangeVerifier)
+	bc.AddConfidential(ConfidentialTokenName, tok)
+
+	mintArgs := ctProve(t, issuer, true, nil, nil,
+		[]ct.OutputSecret{
+			{V: 60, R: fr.NewElement(71), Rho: fr.NewElement(72)},
+			{V: 40, R: fr.NewElement(73), Rho: fr.NewElement(74)},
+		},
+		[]chain.Address{alice, alice})
+	good := &chain.Transaction{From: issuer, Contract: ConfidentialTokenName, Method: "mint", Args: mintArgs}
+
+	// Forge: flip one sigma response byte.
+	d, err := DecodeCTTransfer(mintArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one fr.Element
+	one.SetOne()
+	d.Proof.Outputs[0].ZV.Add(&d.Proof.Outputs[0].ZV, &one)
+	forged := &chain.Transaction{From: issuer, Contract: ConfidentialTokenName, Method: "mint",
+		Args: CTTransferArgs(d.InIDs, d.InComms, d.Outputs, []chain.Address{alice, alice}, d.Proof)}
+
+	// Garbage calldata is rejected too (not silently skipped).
+	garbage := &chain.Transaction{From: issuer, Contract: ConfidentialTokenName, Method: "mint", Args: []byte("junk")}
+
+	// Unrelated transaction passes through untouched.
+	plain := &chain.Transaction{From: alice, Contract: "other", Method: "poke"}
+
+	n, errs := bc.GossipCheck([]*chain.Transaction{good, forged, garbage, plain})
+	if n != 1 {
+		t.Fatalf("gossip verified %d txs, want 1", n)
+	}
+	if errs[0] != nil || errs[1] == nil || errs[2] == nil || errs[3] != nil {
+		t.Fatalf("gossip errs %v", errs)
+	}
+	if !errors.Is(errs[1], ErrCTProofRejected) {
+		t.Fatalf("forged sigma error %v", errs[1])
+	}
+
+	// VerifyBatch marks both outputs' range proofs pre-verified.
+	n, errs = bc.VerifyBatch([]*chain.Transaction{good})
+	if n != 1 || errs[0] != nil {
+		t.Fatalf("seal verified %d, errs %v", n, errs)
+	}
+	gd, _ := DecodeCTTransfer(mintArgs)
+	st := gd.Statement(issuer, true)
+	e := ct.Challenge(cs.params, &cs.pub, st, gd.Proof)
+	for i := range gd.Proof.Outputs {
+		op := &gd.Proof.Outputs[i]
+		digest := verifyDigest(VerifyArgs(op.Range, ct.RangePublics(e, op.ZV, op.PT)))
+		if _, ok := rangeVerifier.consumePreverified(digest); !ok {
+			t.Fatalf("output %d not marked pre-verified", i)
+		}
+	}
+}
+
+// TestCheckerFoldsAcrossVerifiersOnSharedSRS registers two distinct
+// verifier contracts whose keys come from the same SRS and confirms one
+// batch validates proofs against both (the AddFor path), while a verifier
+// on a different SRS still verifies in its own group.
+func TestCheckerFoldsAcrossVerifiersOnSharedSRS(t *testing.T) {
+	tau := fr.NewElement(0xfeed)
+	srs, err := kzg.NewSRSFromSecret(64, &tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(pub uint64) (*plonk.VerifyingKey, *plonk.Proof, []fr.Element) {
+		sys := plonk.NewConstraintSystem(1)
+		x := sys.NewVariable()
+		y := sys.NewVariable()
+		minusOne := fr.NewFromInt64(-1)
+		sys.MustAddGate(plonk.Gate{QM: fr.One(), QO: minusOne, A: x, B: y, C: 0})
+		w := []fr.Element{fr.NewElement(pub), fr.NewElement(pub), fr.NewElement(1)}
+		pk, vk, err := plonk.Setup(sys, srs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := plonk.Prove(pk, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vk, proof, w[:1]
+	}
+	vkA, proofA, pubA := build(17)
+	vkB, proofB, pubB := build(23)
+
+	bc := NewBlockProofChecker()
+	bc.AddVerifier("va", NewVerifier(vkA))
+	bc.AddVerifier("vb", NewVerifier(vkB))
+	// A third verifier on a different SRS.
+	tau2 := fr.NewElement(0xf00d)
+	srs2, err := kzg.NewSRSFromSecret(64, &tau2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srs2
+	txs := []*chain.Transaction{
+		{Contract: "va", Method: "verify", Args: VerifyArgs(proofA, pubA)},
+		{Contract: "vb", Method: "verify", Args: VerifyArgs(proofB, pubB)},
+		{Contract: "vb", Method: "verify", Args: VerifyArgs(breakProof(proofB), pubB)},
+	}
+	n, errs := bc.GossipCheck(txs)
+	if n != 2 {
+		t.Fatalf("verified %d txs, want 2", n)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("valid cross-verifier proofs rejected: %v", errs)
+	}
+	if errs[2] == nil {
+		t.Fatal("broken proof survived the shared fold")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/zkdet/zkdet/internal/contracts"
+	"github.com/zkdet/zkdet/internal/ct"
 	"github.com/zkdet/zkdet/internal/fr"
 	"github.com/zkdet/zkdet/internal/plonk"
 	"github.com/zkdet/zkdet/internal/storage"
@@ -59,7 +60,21 @@ func (r *ProofRegistry) Lookup(tokenID uint64) (*TokenProofs, bool) {
 var (
 	ErrAuditMissingProofs = errors.New("core: no published proofs for token")
 	ErrAuditMismatch      = errors.New("core: on-chain record contradicts published proofs")
+	// ErrAuditorKeyRequired reports an auditor-mode audit attempted
+	// without the designated auditor's secret key: confidential payment
+	// amounts are Pedersen-committed on-chain and can only be opened by
+	// the auditor's decryption key.
+	ErrAuditorKeyRequired = errors.New("core: auditor mode requires the designated auditor key")
 )
+
+// ConfidentialPayment is one opened confidential settlement in a token's
+// lineage: visible only to an auditor-mode audit holding the auditor key.
+type ConfidentialPayment struct {
+	TokenID    uint64
+	ExchangeID uint64
+	NoteID     uint64
+	Value      uint64
+}
 
 // AuditReport summarizes a lineage audit.
 type AuditReport struct {
@@ -68,6 +83,34 @@ type AuditReport struct {
 	// EncryptionProofs and TransformProofs count what was verified.
 	EncryptionProofs int
 	TransformProofs  int
+	// ConfidentialPayments lists the opened confidential settlements
+	// touching the lineage (auditor mode only; empty otherwise).
+	ConfidentialPayments []ConfidentialPayment
+}
+
+// AuditOption tunes an AuditLineage run.
+type AuditOption func(*auditConfig)
+
+type auditConfig struct {
+	auditorMode bool
+	auditorKey  *ct.AuditorKey
+}
+
+// WithAuditorMode asks the audit to additionally open every confidential
+// payment in the token's lineage. It requires WithAuditorKey; without it
+// AuditLineage returns ErrAuditorKeyRequired — the amounts are not
+// recoverable from public state.
+func WithAuditorMode() AuditOption {
+	return func(c *auditConfig) { c.auditorMode = true }
+}
+
+// WithAuditorKey supplies the designated auditor's decryption key and
+// implies auditor mode.
+func WithAuditorKey(key *ct.AuditorKey) AuditOption {
+	return func(c *auditConfig) {
+		c.auditorMode = true
+		c.auditorKey = key
+	}
 }
 
 // AuditLineage performs the full due-diligence a buyer runs before trusting
@@ -80,7 +123,19 @@ type AuditReport struct {
 //  3. check the on-chain commitment field binds the same commitments;
 //  4. for every derived token: verify its π_t and that the proof's source
 //     commitments are exactly its parents' on-chain data commitments.
-func (m *Marketplace) AuditLineage(reg *ProofRegistry, tokenID uint64) (*AuditReport, error) {
+//
+// With WithAuditorKey, the audit additionally opens every confidential
+// settlement whose exchange references a lineage token, reporting the
+// hidden payment amounts (designated-auditor traceability). Auditor mode
+// without the key fails with ErrAuditorKeyRequired.
+func (m *Marketplace) AuditLineage(reg *ProofRegistry, tokenID uint64, opts ...AuditOption) (*AuditReport, error) {
+	var cfg auditConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.auditorMode && cfg.auditorKey == nil {
+		return nil, ErrAuditorKeyRequired
+	}
 	lineage, err := m.Trace(tokenID)
 	if err != nil {
 		return nil, err
@@ -165,6 +220,38 @@ func (m *Marketplace) AuditLineage(reg *ProofRegistry, tokenID uint64) (*AuditRe
 			}
 		}
 		report.TransformProofs++
+	}
+
+	// Auditor mode: open the confidential settlements touching this
+	// lineage. Exchanges are enumerated from the contract's own index, so
+	// this works without an event indexer attached.
+	if cfg.auditorMode && m.ctd != nil {
+		settlements, err := contracts.ReadCTSettlements(m.Chain, contracts.ConfidentialTokenName)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range settlements {
+			if !s.Settled {
+				continue
+			}
+			if _, inLineage := byID[s.TokenID]; !inLineage {
+				continue
+			}
+			note, err := contracts.ReadCTNote(m.Chain, contracts.ConfidentialTokenName, s.NoteID)
+			if err != nil {
+				return nil, fmt.Errorf("core: auditing exchange %d: %w", s.ExchangeID, err)
+			}
+			opening, err := cfg.auditorKey.Open(m.ctd.params, note.Comm, &note.Audit)
+			if err != nil {
+				return nil, fmt.Errorf("core: opening note %d: %w", s.NoteID, err)
+			}
+			report.ConfidentialPayments = append(report.ConfidentialPayments, ConfidentialPayment{
+				TokenID:    s.TokenID,
+				ExchangeID: s.ExchangeID,
+				NoteID:     s.NoteID,
+				Value:      opening.V,
+			})
+		}
 	}
 	return report, nil
 }

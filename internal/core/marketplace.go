@@ -41,6 +41,9 @@ type Marketplace struct {
 	// ProofChecker can wire seal-time batch verification.
 	verifier *contracts.Verifier
 	escrow   *contracts.Escrow
+
+	// ctd is the optional confidential-token deployment (EnableConfidential).
+	ctd *ConfidentialDeployment
 }
 
 // PiKVerifierName is the deployment name of the π_k verifier used by the
@@ -102,6 +105,10 @@ func (m *Marketplace) ProofChecker() *contracts.BlockProofChecker {
 	bc := contracts.NewBlockProofChecker()
 	bc.AddVerifier(PiKVerifierName, m.verifier)
 	bc.AddEscrow(contracts.EscrowName, m.escrow)
+	if m.ctd != nil {
+		bc.AddVerifier(PiCTVerifierName, m.ctd.verifier)
+		bc.AddConfidential(contracts.ConfidentialTokenName, m.ctd.Token)
+	}
 	return bc
 }
 
@@ -454,6 +461,7 @@ func (m *Marketplace) AttachIndexer() *indexer.Indexer {
 		m.ix = indexer.New(indexer.Config{
 			NFTContract:    contracts.DataNFTName,
 			EscrowContract: contracts.EscrowName,
+			CTContract:     contracts.ConfidentialTokenName,
 		})
 		m.ix.Attach(m.Chain)
 	}

@@ -1,0 +1,180 @@
+package ct
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/plonk"
+)
+
+// Wire format, following the plonk ZKPF convention: a 4-byte magic, a
+// 1-byte version, then fixed-width fields. Every point is the 64-byte
+// uncompressed G1 encoding (decoding rejects off-curve points), every
+// scalar the canonical 32-byte big-endian fr encoding.
+const (
+	proofMagic   = "ZKCT"
+	proofVersion = 1
+
+	outputWire = 64 + 160       // commitment ‖ audit cipher
+	outProofFixed = 3*64 + 4*32 // TOpen TEnc1 TEnc2 ‖ PT ZV ZR ZRho
+)
+
+// ErrBadProofEncoding is returned when decoding rejects proof bytes.
+var ErrBadProofEncoding = errors.New("ct: malformed transfer proof encoding")
+
+// maxRangeProofLen caps one embedded π_ct blob; real proofs are ~1-2 KiB,
+// the cap just keeps a hostile length prefix from driving allocation.
+const maxRangeProofLen = 1 << 20
+
+// Bytes encodes an output as commitment ‖ audit cipher (224 bytes).
+func (o *Output) Bytes() [outputWire]byte {
+	var out [outputWire]byte
+	c := o.C.Bytes()
+	a := o.Audit.Bytes()
+	copy(out[:64], c[:])
+	copy(out[64:], a[:])
+	return out
+}
+
+// OutputFromBytes decodes a 224-byte output encoding.
+func OutputFromBytes(b []byte) (Output, error) {
+	var o Output
+	if len(b) != outputWire {
+		return o, fmt.Errorf("%w: output is %d bytes", ErrBadCommitment, len(b))
+	}
+	var err error
+	if o.C, err = CommitmentFromBytes(b[:64]); err != nil {
+		return o, err
+	}
+	if o.Audit, err = AuditCipherFromBytes(b[64:]); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// Bytes serializes the proof: magic, version, flags, output count, the
+// balance pair, then each output proof with a length-prefixed π_ct.
+func (p *Proof) Bytes() []byte {
+	size := 4 + 1 + 1 + 2 + 64 + 32
+	blobs := make([][]byte, len(p.Outputs))
+	for i := range p.Outputs {
+		if p.Outputs[i].Range != nil {
+			blobs[i] = p.Outputs[i].Range.Bytes()
+		}
+		size += outProofFixed + 4 + len(blobs[i])
+	}
+	out := make([]byte, 0, size)
+	out = append(out, proofMagic...)
+	out = append(out, proofVersion, 0)
+	var n2 [2]byte
+	binary.BigEndian.PutUint16(n2[:], uint16(len(p.Outputs)))
+	out = append(out, n2[:]...)
+	tb := p.TBal.Bytes()
+	zb := p.ZBal.Bytes()
+	out = append(out, tb[:]...)
+	out = append(out, zb[:]...)
+	for i := range p.Outputs {
+		op := &p.Outputs[i]
+		to := op.TOpen.Bytes()
+		t1 := op.TEnc1.Bytes()
+		t2 := op.TEnc2.Bytes()
+		out = append(out, to[:]...)
+		out = append(out, t1[:]...)
+		out = append(out, t2[:]...)
+		pt := op.PT.Bytes()
+		zv := op.ZV.Bytes()
+		zr := op.ZR.Bytes()
+		zrho := op.ZRho.Bytes()
+		out = append(out, pt[:]...)
+		out = append(out, zv[:]...)
+		out = append(out, zr[:]...)
+		out = append(out, zrho[:]...)
+		var l4 [4]byte
+		binary.BigEndian.PutUint32(l4[:], uint32(len(blobs[i])))
+		out = append(out, l4[:]...)
+		out = append(out, blobs[i]...)
+	}
+	return out
+}
+
+// ProofFromBytes decodes a transfer proof, rejecting bad magic, unknown
+// versions, arity over MaxParties, off-curve points, non-canonical
+// scalars, and truncated or trailing bytes.
+func ProofFromBytes(b []byte) (*Proof, error) {
+	if len(b) < 4+1+1+2+64+32 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadProofEncoding, len(b))
+	}
+	if string(b[:4]) != proofMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadProofEncoding)
+	}
+	if b[4] != proofVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadProofEncoding, b[4])
+	}
+	if b[5] != 0 {
+		return nil, fmt.Errorf("%w: reserved flags set", ErrBadProofEncoding)
+	}
+	n := int(binary.BigEndian.Uint16(b[6:8]))
+	if n == 0 || n > MaxParties {
+		return nil, fmt.Errorf("%w: %d outputs", ErrBadProofEncoding, n)
+	}
+	rest := b[8:]
+	p := &Proof{Outputs: make([]OutputProof, n)}
+	var err error
+	if p.TBal, err = bn254.G1FromBytes(rest[:64]); err != nil {
+		return nil, fmt.Errorf("%w: TBal: %w", ErrBadProofEncoding, err)
+	}
+	if p.ZBal, err = fr.FromBytesCanonical(rest[64:96]); err != nil {
+		return nil, fmt.Errorf("%w: ZBal: %w", ErrBadProofEncoding, err)
+	}
+	rest = rest[96:]
+	for i := 0; i < n; i++ {
+		if len(rest) < outProofFixed+4 {
+			return nil, fmt.Errorf("%w: truncated output %d", ErrBadProofEncoding, i)
+		}
+		op := &p.Outputs[i]
+		if op.TOpen, err = bn254.G1FromBytes(rest[:64]); err != nil {
+			return nil, fmt.Errorf("%w: output %d TOpen: %w", ErrBadProofEncoding, i, err)
+		}
+		if op.TEnc1, err = bn254.G1FromBytes(rest[64:128]); err != nil {
+			return nil, fmt.Errorf("%w: output %d TEnc1: %w", ErrBadProofEncoding, i, err)
+		}
+		if op.TEnc2, err = bn254.G1FromBytes(rest[128:192]); err != nil {
+			return nil, fmt.Errorf("%w: output %d TEnc2: %w", ErrBadProofEncoding, i, err)
+		}
+		if op.PT, err = fr.FromBytesCanonical(rest[192:224]); err != nil {
+			return nil, fmt.Errorf("%w: output %d PT: %w", ErrBadProofEncoding, i, err)
+		}
+		if op.ZV, err = fr.FromBytesCanonical(rest[224:256]); err != nil {
+			return nil, fmt.Errorf("%w: output %d ZV: %w", ErrBadProofEncoding, i, err)
+		}
+		if op.ZR, err = fr.FromBytesCanonical(rest[256:288]); err != nil {
+			return nil, fmt.Errorf("%w: output %d ZR: %w", ErrBadProofEncoding, i, err)
+		}
+		if op.ZRho, err = fr.FromBytesCanonical(rest[288:320]); err != nil {
+			return nil, fmt.Errorf("%w: output %d ZRho: %w", ErrBadProofEncoding, i, err)
+		}
+		l := binary.BigEndian.Uint32(rest[320:324])
+		if l > maxRangeProofLen {
+			return nil, fmt.Errorf("%w: output %d range proof length %d", ErrBadProofEncoding, i, l)
+		}
+		rest = rest[324:]
+		if uint32(len(rest)) < l {
+			return nil, fmt.Errorf("%w: truncated range proof %d", ErrBadProofEncoding, i)
+		}
+		if l > 0 {
+			rp, err := plonk.ProofFromBytes(rest[:l])
+			if err != nil {
+				return nil, fmt.Errorf("%w: output %d range proof: %w", ErrBadProofEncoding, i, err)
+			}
+			op.Range = rp
+		}
+		rest = rest[l:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadProofEncoding, len(rest))
+	}
+	return p, nil
+}

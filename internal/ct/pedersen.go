@@ -1,0 +1,149 @@
+// Package ct implements confidential tokens for the ZKDET marketplace:
+// amounts hidden inside Pedersen commitments over BN254 G1, sigma-protocol
+// proofs that a transfer balances, Plonk range proofs (π_ct) that every
+// output amount fits in RangeBits bits, and an ElGamal-style encryption of
+// each output's opening to a designated auditor who can re-open every
+// hidden amount along a token's lineage.
+//
+// The design follows the zkat-dlog token driver: what stays public is the
+// transaction topology (which notes were spent, which were created, who
+// the issuer and auditor are); the amounts and blinders stay private to
+// the transacting parties and the auditor.
+package ct
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"github.com/zkdet/zkdet/internal/bn254"
+	"github.com/zkdet/zkdet/internal/fr"
+)
+
+// Params holds the two Pedersen bases: G is the curve generator and H is
+// derived by hashing to the curve, so no one knows log_G(H). A commitment
+// is Commit(v, r) = v·G + r·H; the scheme is perfectly hiding and binding
+// under the discrete log assumption.
+type Params struct {
+	G bn254.G1Affine
+	H bn254.G1Affine
+}
+
+// pedersenHSeed is the domain-separation tag H is hashed from. Fixing it
+// as a protocol constant makes every deployment share the same bases, so
+// commitments are portable across chains and replicas need no extra
+// genesis coordination.
+const pedersenHSeed = "zkdet/ct/pedersen-h/v1"
+
+var (
+	paramsOnce sync.Once
+	paramsInst *Params
+)
+
+// DefaultParams returns the protocol's Pedersen bases (cached after the
+// first call).
+func DefaultParams() *Params {
+	paramsOnce.Do(func() {
+		paramsInst = &Params{G: bn254.G1Generator(), H: hashToG1([]byte(pedersenHSeed))}
+	})
+	return paramsInst
+}
+
+// hashToG1 maps a seed to a curve point by try-and-increment: hash the
+// seed with a counter to an x-coordinate, solve y² = x³ + 3, and take the
+// first counter that yields a quadratic residue (the y with the smaller
+// canonical value, so the map is deterministic). BN254's G1 has prime
+// order, so every curve point is in the right subgroup. The expected
+// number of iterations is 2; the point's discrete log w.r.t. G is unknown
+// because the x-coordinate comes out of SHA-256.
+func hashToG1(seed []byte) bn254.G1Affine {
+	// p ≡ 3 (mod 4), so y = t^((p+1)/4) is a square root of t whenever
+	// one exists.
+	sqrtExp := new(big.Int).Add(bn254.FpModulus(), big.NewInt(1))
+	sqrtExp.Rsh(sqrtExp, 2)
+	three := bn254.NewFp(3)
+	for ctr := uint32(0); ; ctr++ {
+		h := sha256.New()
+		h.Write(seed)
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		x := bn254.FpFromBig(new(big.Int).SetBytes(h.Sum(nil)))
+
+		var y2, y, check bn254.Fp
+		y2.Square(&x)
+		y2.Mul(&y2, &x)
+		y2.Add(&y2, &three)
+		y.Exp(&y2, sqrtExp)
+		check.Square(&y)
+		if !check.Equal(&y2) {
+			continue // x³+3 is not a square; try the next counter
+		}
+		var negY bn254.Fp
+		negY.Neg(&y)
+		if negY.BigInt().Cmp(y.BigInt()) < 0 {
+			y = negY
+		}
+		return bn254.G1Affine{X: x, Y: y}
+	}
+}
+
+// Commitment is a Pedersen commitment to a token amount.
+type Commitment struct {
+	P bn254.G1Affine
+}
+
+// Commit computes v·G + r·H.
+func (p *Params) Commit(v uint64, r *fr.Element) Commitment {
+	vEl := fr.NewElement(v)
+	vG := bn254.G1ScalarMul(&p.G, &vEl)
+	rH := bn254.G1ScalarMul(&p.H, r)
+	return Commitment{P: bn254.G1Add(&vG, &rH)}
+}
+
+// Add returns the homomorphic sum: Commit(v₁+v₂, r₁+r₂).
+func (c Commitment) Add(d Commitment) Commitment {
+	return Commitment{P: bn254.G1Add(&c.P, &d.P)}
+}
+
+// Sub returns the homomorphic difference: Commit(v₁-v₂, r₁-r₂).
+func (c Commitment) Sub(d Commitment) Commitment {
+	var neg bn254.G1Affine
+	neg.Neg(&d.P)
+	return Commitment{P: bn254.G1Add(&c.P, &neg)}
+}
+
+// Equal reports whether two commitments are the same point.
+func (c Commitment) Equal(d Commitment) bool { return c.P.Equal(&d.P) }
+
+// Bytes returns the 64-byte uncompressed encoding (X ‖ Y).
+func (c Commitment) Bytes() [64]byte { return c.P.Bytes() }
+
+// Digest returns the SHA-256 of the commitment's encoding — what lineage
+// events index instead of amounts.
+func (c Commitment) Digest() [32]byte {
+	b := c.Bytes()
+	return sha256.Sum256(b[:])
+}
+
+// ErrBadCommitment is returned when decoding rejects a byte string.
+var ErrBadCommitment = errors.New("ct: malformed commitment")
+
+// CommitmentFromBytes decodes a 64-byte encoding, rejecting points not on
+// the curve (BN254 G1 is prime-order, so on-curve implies in-subgroup).
+func CommitmentFromBytes(b []byte) (Commitment, error) {
+	p, err := bn254.G1FromBytes(b)
+	if err != nil {
+		return Commitment{}, fmt.Errorf("%w: %w", ErrBadCommitment, err)
+	}
+	return Commitment{P: p}, nil
+}
+
+// Opening is the secret side of a commitment: the amount and its blinder.
+type Opening struct {
+	V uint64
+	R fr.Element
+}

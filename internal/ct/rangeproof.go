@@ -1,0 +1,143 @@
+package ct
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/zkdet/zkdet/internal/circuit"
+	"github.com/zkdet/zkdet/internal/fr"
+	"github.com/zkdet/zkdet/internal/kzg"
+	"github.com/zkdet/zkdet/internal/plonk"
+	"github.com/zkdet/zkdet/internal/poseidon"
+)
+
+// RangeBits bounds every confidential amount: v < 2^24. Two limbs of the
+// k=12 lookup range table cover it exactly, and sums of up to MaxParties
+// amounts stay far below the field modulus, so the sigma protocol's
+// balance equation cannot wrap.
+const RangeBits = 24
+
+// MaxParties caps the inputs and outputs of one transfer; with 24-bit
+// amounts and ≤16 outputs the total value stays below 2^28.
+const MaxParties = 16
+
+// BuildRangeCircuit constructs π_ct, the per-output circuit gluing the
+// transfer's sigma protocol to an in-circuit range check. Public inputs
+// (in order): the Fiat–Shamir challenge e, the sigma response z_v, and a
+// Poseidon commitment P_t to the sigma nonce t_v. Secrets: the amount v,
+// the nonce t_v, and the Poseidon blinder s_t. Constraints:
+//
+//	v < 2^RangeBits            (lookup range gadget, k=12 limbs)
+//	z_v = t_v + e·v            (the sigma response equation)
+//	P_t = PoseidonCommit(t_v; s_t)
+//
+// Soundness of the glue: P_t enters the transcript before e is squeezed,
+// so t_v is fixed first; given (e, z_v, P_t) the circuit's v is then
+// uniquely determined as (z_v − t_v)/e, the same value the sigma
+// extractor obtains from the commitment-opening equations. A prover
+// committing an out-of-range amount would need t_v' ≠ t_v with
+// z_v − t_v' ∈ [0, 2^RangeBits) AND PoseidonCommit(t_v'; s') = P_t — a
+// Poseidon binding break — or must predict e, so cheating succeeds with
+// probability ≈ 2^RangeBits/|Fr| per transcript.
+func BuildRangeCircuit(e, zv, pt, v, tv, st fr.Element) *circuit.Builder {
+	b := circuit.NewBuilder()
+	b.EnableLookups(circuit.DefaultRangeTableBits)
+	eV := b.Public(e)
+	zvV := b.Public(zv)
+	ptV := b.Public(pt)
+	vV := b.Secret(v)
+	tvV := b.Secret(tv)
+	stV := b.Secret(st)
+	b.AssertRange(vV, RangeBits)
+	b.AssertEqual(b.Add(tvV, b.Mul(eV, vV)), zvV)
+	b.AssertEqual(poseidon.GadgetCommit(b, []circuit.Variable{tvV}, stV), ptV)
+	return b
+}
+
+// AuditRangeCircuit instantiates π_ct with a small consistent witness for
+// the soundness auditor registry.
+func AuditRangeCircuit() *circuit.Builder {
+	v := fr.NewElement(123456)
+	tv := fr.NewElement(7777)
+	st := fr.NewElement(99)
+	e := fr.NewElement(31337)
+	var ev fr.Element
+	ev.Mul(&e, &v)
+	var zv fr.Element
+	zv.Add(&tv, &ev)
+	pt := poseidon.CommitWith([]fr.Element{tv}, st)
+	return BuildRangeCircuit(e, zv, pt, v, tv, st)
+}
+
+// RangeProver holds the one-time Plonk preprocessing for π_ct over a
+// deployment's SRS. The circuit shape is witness-independent, so the keys
+// are built once and reused for every output.
+type RangeProver struct {
+	srs *kzg.SRS
+
+	mu sync.Mutex
+	pk *plonk.ProvingKey   // guarded by mu
+	vk *plonk.VerifyingKey // guarded by mu
+}
+
+// NewRangeProver wraps an SRS. The SRS must cover the k=12 range table's
+// 2^12-row domain (NewTestSystem(1<<12) or larger); Setup reports an
+// undersized SRS on first use.
+func NewRangeProver(srs *kzg.SRS) *RangeProver { return &RangeProver{srs: srs} }
+
+// keys compiles a zero-witness instance and runs Setup once.
+func (rp *RangeProver) keys() (*plonk.ProvingKey, *plonk.VerifyingKey, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.pk != nil {
+		return rp.pk, rp.vk, nil
+	}
+	var z fr.Element
+	cs, _, err := BuildRangeCircuit(z, z, z, z, z, z).Compile()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ct: compiling pi_ct: %w", err)
+	}
+	pk, vk, err := plonk.Setup(cs, rp.srs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ct: pi_ct setup: %w", err)
+	}
+	rp.pk, rp.vk = pk, vk
+	return pk, vk, nil
+}
+
+// VK returns the π_ct verifying key — what the on-chain range verifier
+// contract is deployed with.
+func (rp *RangeProver) VK() (*plonk.VerifyingKey, error) {
+	_, vk, err := rp.keys()
+	return vk, err
+}
+
+// Prove generates one output's π_ct for the given instance.
+func (rp *RangeProver) Prove(e, zv, pt, v, tv, st fr.Element) (*plonk.Proof, error) {
+	pk, _, err := rp.keys()
+	if err != nil {
+		return nil, err
+	}
+	cs, witness, err := BuildRangeCircuit(e, zv, pt, v, tv, st).Compile()
+	if err != nil {
+		return nil, fmt.Errorf("ct: compiling pi_ct witness: %w", err)
+	}
+	if err := cs.IsSatisfied(witness); err != nil {
+		return nil, fmt.Errorf("ct: pi_ct witness: %w", err)
+	}
+	proof, err := plonk.Prove(pk, witness)
+	if err != nil {
+		return nil, fmt.Errorf("ct: proving pi_ct: %w", err)
+	}
+	return proof, nil
+}
+
+// VerifyRange checks one output's π_ct against the public inputs
+// (e, z_v, P_t).
+func VerifyRange(vk *plonk.VerifyingKey, proof *plonk.Proof, e, zv, pt fr.Element) error {
+	return plonk.Verify(vk, proof, []fr.Element{e, zv, pt})
+}
+
+// RangePublics returns the π_ct public-input vector of one output, in the
+// order the circuit declares them.
+func RangePublics(e, zv, pt fr.Element) []fr.Element { return []fr.Element{e, zv, pt} }

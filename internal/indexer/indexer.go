@@ -44,6 +44,7 @@ type Stats struct {
 	Events  uint64 // events indexed
 	Txs     uint64 // transactions mapped
 	Tokens  int    // tokens known to the provenance service
+	CTNotes int    // confidential notes known to the provenance service
 	Keys    int    // distinct (contract, name[, topic]) index keys
 	Skipped uint64 // range-scan blocks skipped by bloom filters
 }
@@ -53,6 +54,7 @@ type Stats struct {
 type Config struct {
 	NFTContract    string
 	EscrowContract string
+	CTContract     string // confidential-token contract (commitment digests, never amounts)
 }
 
 // Indexer is the off-chain index. Feed it sealed blocks via Attach (the
@@ -211,6 +213,7 @@ func (ix *Indexer) Stats() Stats {
 		Events:  ix.events,
 		Txs:     uint64(len(ix.txBlock)),
 		Tokens:  len(ix.prov.tokens),
+		CTNotes: len(ix.prov.ctNotes),
 		Keys:    len(ix.byKey),
 		Skipped: ix.skipped,
 	}
@@ -260,5 +263,49 @@ func (ix *Indexer) Exchange(id uint64) (*ExchangeRecord, error) {
 		return nil, fmt.Errorf("indexer: unknown exchange %d", id)
 	}
 	cp := *rec
+	return &cp, nil
+}
+
+// ErrUnknownNote reports a query for a confidential note the indexer has
+// not seen a CTNote event for.
+var ErrUnknownNote = errors.New("indexer: unknown confidential note")
+
+// CTNote returns the folded record of one confidential note. The record
+// carries only public data — owner, status, and the commitment digest; no
+// amount ever appears in events, so none can appear here.
+func (ix *Indexer) CTNote(id uint64) (*CTNoteRecord, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	rec, ok := ix.prov.ctNotes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNote, id)
+	}
+	return rec.clone(), nil
+}
+
+// CTNoteByDigest resolves a 32-byte commitment digest — the only handle to
+// a confidential note that appears in lineage events and audit reports —
+// back to the note record. This is what lets an auditor pivot from an
+// opened payment to the note's on-chain history without scanning blocks.
+func (ix *Indexer) CTNoteByDigest(digest []byte) (*CTNoteRecord, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	id, ok := ix.prov.ctByDigest[string(digest)]
+	if !ok {
+		return nil, fmt.Errorf("%w: digest %x", ErrUnknownNote, digest)
+	}
+	return ix.prov.ctNotes[id].clone(), nil
+}
+
+// CTExchange returns the folded record of one confidential escrow exchange.
+func (ix *Indexer) CTExchange(id uint64) (*CTExchangeRecord, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	rec, ok := ix.prov.ctExchanges[id]
+	if !ok {
+		return nil, fmt.Errorf("indexer: unknown confidential exchange %d", id)
+	}
+	cp := *rec
+	cp.History = append([]HistoryEntry(nil), rec.History...)
 	return &cp, nil
 }
